@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark harness.
+
+The full 7-day field-study reconstruction runs once per benchmark session;
+every figure bench reads from the same result, exactly as the paper's
+figures all come from the same deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import GainesvilleStudy, ScenarioConfig
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full 7-day, 10-user, 259-post reconstruction."""
+    return GainesvilleStudy(ScenarioConfig())
+
+
+@pytest.fixture(scope="session")
+def study_result(study):
+    return study.run()

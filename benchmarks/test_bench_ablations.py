@@ -1,0 +1,88 @@
+"""E10 (extension) — ablations of the design choices DESIGN.md calls out.
+
+Three switches, same deployment, measured consequences:
+
+* **end-to-end encryption off** (§III-A security preference): how many
+  bytes and how much compute the §IV pipeline actually costs,
+* **origin-preference grace off** (Fig. 2b author-pull): what keeps the
+  1-hop share high,
+* **duty cycle off** (always-foreground radios): how much iOS's background
+  restrictions suppressed dissemination in vivo.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.experiments import GainesvilleStudy, ScenarioConfig
+from repro.metrics.report import format_table
+
+BASE = ScenarioConfig(seed=2017, duration_days=2, total_posts=74)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return GainesvilleStudy(BASE).run()
+
+
+def _row(label, result):
+    return (
+        label,
+        result.disseminations,
+        "-" if result.one_hop_fraction is None else f"{result.one_hop_fraction:.3f}",
+        "-" if result.delivery.overall_delivery_ratio() is None
+        else f"{result.delivery.overall_delivery_ratio():.3f}",
+        f"{result.security_stats.get('bytes_sent', 0):,}",
+    )
+
+
+HEADER = ("variant", "transfers", "1-hop frac", "delivery", "bytes sent")
+
+
+def test_bench_ablation_encryption(benchmark, baseline):
+    config = replace(BASE, require_encryption=False)
+    plaintext = benchmark.pedantic(
+        lambda: GainesvilleStudy(config).run(), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Ablation: end-to-end encryption", HEADER,
+                       [_row("encrypted (paper)", baseline),
+                        _row("plaintext", plaintext)]))
+    # Encryption costs bytes (envelope + signature overhead) but must not
+    # change *what* gets delivered.
+    assert plaintext.disseminations > 0
+    enc_bytes = baseline.security_stats["bytes_sent"]
+    plain_bytes = plaintext.security_stats["bytes_sent"]
+    if plaintext.disseminations == baseline.disseminations:
+        assert enc_bytes > plain_bytes
+
+
+def test_bench_ablation_origin_preference(benchmark, baseline):
+    config = replace(BASE, relay_request_grace=0.0)
+    eager = benchmark.pedantic(
+        lambda: GainesvilleStudy(config).run(), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Ablation: origin-preference grace", HEADER,
+                       [_row("grace 2100s (paper-calibrated)", baseline),
+                        _row("grace 0 (race relays)", eager)]))
+    # Without origin preference, relays win races: more transfers, lower
+    # 1-hop share.
+    assert (eager.one_hop_fraction or 0) <= (baseline.one_hop_fraction or 0) + 0.05
+    assert eager.disseminations >= baseline.disseminations
+
+
+def test_bench_ablation_duty_cycle(benchmark, baseline):
+    config = replace(BASE, duty_cycle=False)
+    always_on = benchmark.pedantic(
+        lambda: GainesvilleStudy(config).run(), rounds=1, iterations=1
+    )
+    print()
+    print(format_table("Ablation: app duty cycle (iOS foreground limits)", HEADER,
+                       [_row("duty-cycled (in vivo)", baseline),
+                        _row("always-on radios", always_on)]))
+    # Always-on radios can only increase contact opportunities.
+    assert always_on.disseminations >= baseline.disseminations
+    assert (always_on.delivery.overall_delivery_ratio() or 0) >= (
+        baseline.delivery.overall_delivery_ratio() or 0
+    ) - 0.05

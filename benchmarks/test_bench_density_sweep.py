@@ -1,0 +1,43 @@
+"""E9 (extension) — the higher-density investigation §VI-B calls for.
+
+"The results at such a low density provide promising insight into delay
+tolerant social networks and suggest further investigations at higher
+densities are needed."  This bench performs that investigation: population
+grows at fixed area, everything else identical.
+
+Expected shape: contacts and transfers grow superlinearly with density,
+delivery ratio rises, median delay falls — the density regime is the
+bottleneck of the original deployment, as the authors suspected.
+"""
+
+import pytest
+
+from repro.experiments import DensitySweep, ScenarioConfig
+
+POPULATIONS = (6, 10, 16)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    runner = DensitySweep(
+        base_config=ScenarioConfig(seed=2017, duration_days=2, total_posts=74),
+        populations=POPULATIONS,
+    )
+    runner.run()
+    return runner
+
+
+def test_bench_density_sweep(benchmark, sweep):
+    from repro.experiments import GainesvilleStudy
+
+    # Time one density point end to end.
+    config = ScenarioConfig(seed=2017, duration_days=1, total_posts=20, num_users=6)
+    benchmark.pedantic(lambda: GainesvilleStudy(config).run(), rounds=1, iterations=1)
+
+    print()
+    print(sweep.report())
+
+    by_pop = {p.num_users: p for p in sweep.points}
+    # Shape: denser -> more contacts and at least as many transfers.
+    assert by_pop[16].contacts > by_pop[6].contacts
+    assert by_pop[16].disseminations >= by_pop[6].disseminations

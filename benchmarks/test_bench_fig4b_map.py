@@ -1,0 +1,48 @@
+"""E2 / Fig. 4b — the message generation / dissemination map.
+
+The paper's Fig. 4b is a map of Gainesville with blue (message creation)
+and red (message dissemination) markers over the ~11 km x 8 km study
+area.  We regenerate it as an ASCII overlay plus the quantities a text
+harness can assert on: coverage areas, centroids and hot cells.
+"""
+
+from repro.metrics.report import format_table
+
+
+def test_bench_fig4b_map(benchmark, study_result):
+    overlay = study_result.overlay
+
+    def compute_stats():
+        return {
+            "created_events": len(overlay.points("created")),
+            "disseminated_events": len(overlay.points("disseminated")),
+            "created_coverage_km2": overlay.coverage_km2("created"),
+            "disseminated_coverage_km2": overlay.coverage_km2("disseminated"),
+            "created_centroid": overlay.centroid("created"),
+            "disseminated_centroid": overlay.centroid("disseminated"),
+        }
+
+    stats = benchmark(compute_stats)
+
+    print()
+    print("Fig. 4b — ASCII map overlay (b=creation, r=dissemination, x=both)")
+    print(overlay.ascii_map())
+    print()
+    rows = [
+        ("creation events (blue)", stats["created_events"]),
+        ("dissemination events (red)", stats["disseminated_events"]),
+        ("creation coverage", f"{stats['created_coverage_km2']:.1f} km^2"),
+        ("dissemination coverage", f"{stats['disseminated_coverage_km2']:.1f} km^2"),
+        ("study area", f"{overlay.region.area_km2:.0f} km^2 (paper: 88 km^2)"),
+        ("creation centroid", str(stats["created_centroid"])),
+        ("dissemination centroid", str(stats["disseminated_centroid"])),
+    ]
+    print(format_table("Fig. 4b — spatial statistics", ("quantity", "value"), rows))
+
+    # Shape assertions: creation happens all over town (homes), while
+    # dissemination requires co-location, concentrating around venues.
+    assert stats["created_events"] == study_result.unique_messages
+    assert stats["disseminated_events"] == study_result.disseminations
+    assert stats["created_coverage_km2"] > 0
+    assert stats["disseminated_coverage_km2"] > 0
+    assert overlay.region.area_km2 == 88.0

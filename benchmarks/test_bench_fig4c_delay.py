@@ -1,0 +1,42 @@
+"""E3 / Fig. 4c — message delay CDF, "1-hop" vs "All".
+
+Regenerates the delay CDF series from the reconstructed deployment and
+prints the same point reads §VI-B quotes.  The benchmark times the
+delay analysis over the full study trace.
+"""
+
+from repro.metrics.delay import DelayAnalysis
+from repro.metrics.report import comparison_row, format_table
+
+PAPER_POINTS = {
+    "all_within_24h": 0.43,
+    "all_within_94h": 0.90,
+    "one_hop_within_24h": 0.44,
+    "one_hop_within_94h": 0.92,
+}
+
+
+def test_bench_fig4c_delay(benchmark, study_result):
+    analysis = benchmark(DelayAnalysis.from_collector, study_result.collector)
+
+    print()
+    rows = [
+        (f"{h:>5.0f}h", f"{fa:.3f}", f"{f1:.3f}")
+        for h, fa, f1 in analysis.curve_hours()
+    ]
+    print(format_table("Fig. 4c — delay CDF series",
+                       ("delay", "F(all)", "F(1-hop)"), rows))
+    print()
+    measured = analysis.paper_points()
+    print(format_table("Fig. 4c — paper point reads",
+                       ("metric", "paper", "measured", "delta"),
+                       [comparison_row(k, v, measured[k]) for k, v in PAPER_POINTS.items()]))
+
+    # Shape assertions (not absolute-value): a ~half/day knee, a ~4-day
+    # 90 % knee, and 1-hop never slower than All at the day mark.
+    assert 0.25 <= measured["all_within_24h"] <= 0.65
+    assert measured["all_within_94h"] >= 0.85
+    assert measured["one_hop_within_94h"] >= measured["all_within_94h"] - 0.05
+    # The CDF must be increasing.
+    curve = analysis.curve_hours()
+    assert all(a[1] <= b[1] for a, b in zip(curve, curve[1:]))

@@ -1,0 +1,39 @@
+"""E12 (extension) — replication variance of the field study.
+
+The original evaluation is a single 7-day sample of a noisy human system.
+This bench reruns the (shortened) reconstruction across seeds and reports
+mean ± stdev per headline metric — the sampling-noise yardstick against
+which the paper-vs-measured deltas in EXPERIMENTS.md should be read.
+"""
+
+import pytest
+
+from repro.experiments import GainesvilleStudy, ReplicationStudy, ScenarioConfig
+
+
+@pytest.fixture(scope="module")
+def replication():
+    study = ReplicationStudy(
+        base_config=ScenarioConfig(duration_days=2, total_posts=74),
+        seeds=(2017, 2018, 2019),
+    )
+    study.run()
+    return study
+
+
+def test_bench_replication(benchmark, replication):
+    config = ScenarioConfig(seed=2023, duration_days=1, total_posts=20)
+    benchmark.pedantic(lambda: GainesvilleStudy(config).run(), rounds=1, iterations=1)
+
+    print()
+    print(replication.report())
+
+    summaries = {s.name: s for s in replication.summaries()}
+    # The process must actually be stochastic across seeds...
+    assert any(s.stdev > 0 for s in summaries.values())
+    # ...but stable in shape: 1-hop dominance holds for every seed.
+    one_hop = summaries["one_hop_fraction"]
+    assert one_hop.minimum > 0.5
+    # And the delay knee stays in a plausible band.
+    day_frac = summaries["all_within_24h"]
+    assert 0.2 <= day_frac.minimum <= day_frac.maximum <= 0.95

@@ -1,0 +1,47 @@
+"""E8 / ablation — routing schemes compared on the same deployment.
+
+The SOS middleware exists so schemes can be compared in identical
+conditions (§I, §III-B); this bench runs the reconstructed deployment
+once per protocol (same seed, same mobility, same posting schedule) and
+prints the delivery / delay / overhead trade-off table.
+
+A reduced 3-day scenario keeps the full six-protocol sweep tractable in a
+benchmark session; the orderings it demonstrates (epidemic >= interest >=
+direct on transfers; direct is 1-hop-only) are scale-independent.
+"""
+
+import pytest
+
+from repro.experiments import ProtocolComparison, ScenarioConfig
+
+PROTOCOLS = ("interest", "epidemic", "direct", "first_contact", "spray_wait", "prophet")
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    config = ScenarioConfig(seed=2017, duration_days=3, total_posts=110)
+    runner = ProtocolComparison(base_config=config, protocols=PROTOCOLS)
+    runner.run()
+    return runner
+
+
+def test_bench_routing_comparison(benchmark, comparison):
+    # Time one additional single-protocol study; the sweep itself is
+    # computed once in the fixture.
+    from repro.experiments import GainesvilleStudy
+
+    config = ScenarioConfig(seed=2017, duration_days=1, total_posts=30)
+    benchmark.pedantic(lambda: GainesvilleStudy(config).run(), rounds=1, iterations=1)
+
+    print()
+    print(comparison.report())
+
+    outcome = comparison.outcomes
+    # Who wins, by construction and in the paper's framing:
+    # epidemic replicates the most, direct the least.
+    assert outcome["epidemic"].disseminations >= outcome["interest"].disseminations
+    assert outcome["direct"].disseminations <= outcome["interest"].disseminations
+    if outcome["direct"].one_hop_fraction is not None:
+        assert outcome["direct"].one_hop_fraction == 1.0
+    # Interest-based must actually deliver in its home turf.
+    assert (outcome["interest"].delivery_ratio or 0) > 0.2

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Emergency broadcast: opportunistic dissemination when infrastructure dies.
+
+The paper motivates DTNs with disaster scenarios: "In natural disaster
+situations, Internet and cellular communication infrastructures can be
+severely disrupted" (§I).  This example stages exactly that:
+
+* 14 residents move through a 3 km x 3 km district (random waypoint),
+* at t=0 the infrastructure is already gone (cloud offline),
+* an emergency coordinator posts safety updates from a shelter,
+* everyone follows the coordinator; epidemic routing spreads each update
+  device-to-device until the whole district has it.
+
+The script reports per-update coverage over time — the classic epidemic
+S-curve — entirely without infrastructure.
+
+Run:  python examples/emergency_broadcast.py
+"""
+
+from repro.alleyoop import AlleyOopApp, CloudService, sign_up
+from repro.core.config import SosConfig
+from repro.crypto.drbg import HmacDrbg
+from repro.geo.point import Point
+from repro.geo.region import Region
+from repro.mobility import RandomWaypoint
+from repro.mobility.base import StationaryModel
+from repro.mpc import MpcFramework
+from repro.net import Device, Medium
+from repro.sim import Simulator
+
+RESIDENTS = 14
+DISTRICT = Region(0.0, 0.0, 3_000.0, 3_000.0)
+HOUR = 3600.0
+
+
+def main() -> None:
+    sim = Simulator(seed=7)
+    medium = Medium(sim, tick_interval=15.0)
+    framework = MpcFramework(sim, medium)
+
+    # Sign-up happened long before the disaster (the one-time requirement).
+    cloud = CloudService(rng=HmacDrbg.from_int(100), now=0.0)
+    config = SosConfig(routing_protocol="epidemic", relay_request_grace=0.0)
+
+    apps = {}
+    coordinator_creds = sign_up(cloud, "coordinator", rng=HmacDrbg.from_int(0), now=0.0)
+    shelter = Point(1_500.0, 1_500.0)
+    medium.add_device(Device("dev-coordinator", StationaryModel(shelter)))
+    apps["coordinator"] = AlleyOopApp(
+        sim, framework, "dev-coordinator", coordinator_creds.user_id, "coordinator",
+        coordinator_creds.keystore, cloud, rng=HmacDrbg.from_int(1000), config=config,
+    )
+
+    for i in range(RESIDENTS):
+        name = f"resident-{i:02d}"
+        creds = sign_up(cloud, name, rng=HmacDrbg.from_int(200 + i), now=0.0)
+        mobility = RandomWaypoint(
+            DISTRICT, sim.streams.get(f"walk:{i}"),
+            speed_range=(0.8, 2.2), pause_range=(60.0, 900.0),
+        )
+        medium.add_device(Device(f"dev-{name}", mobility))
+        app = AlleyOopApp(
+            sim, framework, f"dev-{name}", creds.user_id, name,
+            creds.keystore, cloud, rng=HmacDrbg.from_int(500 + i), config=config,
+        )
+        app.follow(coordinator_creds.user_id)
+        apps[name] = app
+
+    # The disaster: infrastructure is gone before the first update.
+    cloud.online = False
+    for app in apps.values():
+        app.start()
+    medium.start()
+
+    updates = [
+        (0.5 * HOUR, "Shelter open at the community center."),
+        (2.0 * HOUR, "Water distribution at the north park, 4 PM."),
+        (4.0 * HOUR, "Road to the hospital cleared."),
+    ]
+    coordinator = apps["coordinator"]
+    for at, text in updates:
+        sim.schedule_at(at, coordinator.post, text)
+
+    print(f"{RESIDENTS} residents, 1 coordinator, {DISTRICT.area_km2:.0f} km^2, "
+          "no infrastructure.\n")
+    print(f"{'time':>6} | " + " | ".join(f"update {i+1}" for i in range(len(updates))))
+    print("-" * 45)
+    residents = [a for n, a in apps.items() if n != "coordinator"]
+    for checkpoint_h in [1, 2, 3, 4, 6, 8, 10, 12]:
+        sim.run(until=checkpoint_h * HOUR)
+        coverage = []
+        for number in range(1, len(updates) + 1):
+            have = sum(
+                1 for app in residents
+                if app.sos.store.has(coordinator.user_id, number)
+            )
+            coverage.append(f"{have:3d}/{RESIDENTS}")
+        print(f"{checkpoint_h:>5}h | " + " | ".join(f"{c:>8}" for c in coverage))
+
+    total = sum(len(a.timeline()) for a in residents)
+    print(f"\ntotal feed deliveries: {total} "
+          f"(max {RESIDENTS * len(updates)})")
+    hops = [e.hops for a in residents for e in a.timeline()]
+    if hops:
+        print(f"hop counts: min={min(hops)} max={max(hops)} "
+              f"mean={sum(hops)/len(hops):.2f} — multi-hop relaying at work")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: two users, one delay tolerant message.
+
+Builds the minimal SOS/AlleyOop world — a cloud + CA, two users who
+complete the one-time sign-up, two simulated iPhones near each other —
+then posts a message from Alice and watches Bob's feed receive it over
+the secure D2D path (discovery -> invitation -> certificate handshake ->
+encrypted transfer).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.alleyoop import AlleyOopApp, CloudService, sign_up
+from repro.crypto.drbg import HmacDrbg
+from repro.geo.point import Point
+from repro.mobility.base import StationaryModel
+from repro.mpc import MpcFramework
+from repro.net import Device, Medium
+from repro.sim import Simulator
+
+
+def main() -> None:
+    # 1. The simulation substrate: clock, radio medium, MPC runtime.
+    sim = Simulator(seed=42)
+    medium = Medium(sim, tick_interval=10.0)
+    framework = MpcFramework(sim, medium)
+
+    # 2. The one-time infrastructure (paper Fig. 2a): accounts + certificates.
+    cloud = CloudService(rng=HmacDrbg.from_int(1), now=0.0)
+    alice_creds = sign_up(cloud, "alice", rng=HmacDrbg.from_int(2), now=0.0)
+    bob_creds = sign_up(cloud, "bob", rng=HmacDrbg.from_int(3), now=0.0)
+    print(f"alice signed up: user_id={alice_creds.user_id}")
+    print(f"bob   signed up: user_id={bob_creds.user_id}")
+
+    # 3. Two phones, 40 m apart (within peer-to-peer WiFi range).
+    for name, creds, x in [("alice", alice_creds, 100.0), ("bob", bob_creds, 140.0)]:
+        medium.add_device(Device(f"dev-{name}", StationaryModel(Point(x, 100.0))))
+
+    alice = AlleyOopApp(sim, framework, "dev-alice", alice_creds.user_id, "alice",
+                        alice_creds.keystore, cloud, rng=HmacDrbg.from_int(4))
+    bob = AlleyOopApp(sim, framework, "dev-bob", bob_creds.user_id, "bob",
+                      bob_creds.keystore, cloud, rng=HmacDrbg.from_int(5))
+
+    # 4. From here on, no Internet is needed: take the cloud away.
+    cloud.online = False
+
+    # 5. Bob follows Alice; both apps go on the air.
+    bob.follow(alice_creds.user_id)
+    alice.start()
+    bob.start()
+    medium.start()
+
+    # 6. Alice posts; the middleware advertises, Bob's device requests,
+    #    certificates are exchanged, the payload travels encrypted.
+    alice.post("Hello from the delay tolerant social network!")
+    sim.run(until=300.0)
+
+    print("\nBob's feed:")
+    for entry in bob.timeline():
+        print(f"  [{entry.author_id} #{entry.number}] {entry.post.text!r} "
+              f"(hops={entry.hops}, delay={entry.delay:.1f}s)")
+    print("\nBob's app notifications:")
+    for note in bob.notifications:
+        print(f"  - {note}")
+    assert bob.timeline(), "delivery failed — this should never happen"
+    print("\nDelivered with no infrastructure. That's the alley oop.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Record a deployment's contacts, then replay them bit-exactly.
+
+The paper's methodological goal is DTN evaluation that is "replicable,
+comparable, and available to a variety of researchers" (§I).  The
+standard vehicle for that is the *contact trace*: once a deployment's
+contacts are recorded, anyone can rerun any protocol over the identical
+contact process.  This example:
+
+1. runs a small geometric deployment (working-day mobility) and exports
+   its contact trace to a file,
+2. replays the trace through a fresh AlleyOop stack twice — once with
+   interest-based and once with epidemic routing — over *identical*
+   contacts,
+3. shows the protocols' differing behaviour under the exact same physics.
+
+Run:  python examples/trace_replay.py
+"""
+
+import io
+import random
+
+from repro.alleyoop import AlleyOopApp, CloudService, sign_up
+from repro.core.config import SosConfig
+from repro.crypto.drbg import HmacDrbg
+from repro.geo.point import Point
+from repro.geo.region import Region
+from repro.mobility import RandomWaypoint
+from repro.mobility.base import StationaryModel
+from repro.mpc import MpcFramework
+from repro.net import Device, Medium
+from repro.net.tracefile import TraceMedium, read_contact_trace, write_contact_trace
+from repro.sim import Simulator
+
+USERS = 6
+HOURS = 6
+
+
+def record_phase() -> str:
+    """Run mobile devices for a few hours; return the contact trace."""
+    sim = Simulator(seed=99)
+    medium = Medium(sim, tick_interval=15.0)
+    region = Region(0, 0, 800, 800)
+    for i in range(USERS):
+        mobility = RandomWaypoint(region, sim.streams.get(f"m{i}"),
+                                  pause_range=(60.0, 600.0))
+        medium.add_device(Device(f"node-{i}", mobility))
+    medium.start()
+    sim.run(until=HOURS * 3600.0)
+    medium.stop()
+    buffer = io.StringIO()
+    count = write_contact_trace(medium.contacts.completed, buffer)
+    print(f"recorded {count} contacts over {HOURS} h "
+          f"({USERS} devices, {region.area_km2:.2f} km^2)")
+    return buffer.getvalue()
+
+
+def replay_phase(trace_text: str, protocol: str) -> dict:
+    """Run the full AlleyOop stack over the recorded contacts."""
+    intervals = read_contact_trace(io.StringIO(trace_text))
+    sim = Simulator(seed=1)
+    medium = TraceMedium(sim, intervals)
+    framework = MpcFramework(sim, medium)
+    cloud = CloudService(rng=HmacDrbg.from_int(7), now=0.0)
+    config = SosConfig(routing_protocol=protocol, relay_request_grace=0.0)
+
+    apps = []
+    for i in range(USERS):
+        creds = sign_up(cloud, f"user-{i}", rng=HmacDrbg.from_int(100 + i), now=0.0)
+        medium.add_device(Device(f"node-{i}", StationaryModel(Point(0, 0))))
+        apps.append(AlleyOopApp(sim, framework, f"node-{i}", creds.user_id,
+                                f"user-{i}", creds.keystore, cloud,
+                                rng=HmacDrbg.from_int(200 + i), config=config))
+    cloud.online = False
+    # Only odd-numbered users follow user-0: interest-based routing moves
+    # content toward them alone, epidemic replicates to everyone.
+    for i, app in enumerate(apps[1:], start=1):
+        if i % 2 == 1:
+            app.follow(apps[0].user_id)
+    for app in apps:
+        app.start()
+    medium.start()
+    rng = random.Random(5)
+    for k in range(5):
+        sim.schedule_at(rng.uniform(0, HOURS * 1800.0), apps[0].post, f"update {k}")
+    sim.run(until=HOURS * 3600.0)
+    delivered = sum(len(app.timeline()) for app in apps[1:])
+    transfers = sum(app.sos.messages.stats["messages_received"] for app in apps)
+    bytes_sent = sum(app.sos.adhoc.stats["bytes_sent"] for app in apps)
+    return {"delivered": delivered, "transfers": transfers, "bytes": bytes_sent}
+
+
+def main() -> None:
+    trace_text = record_phase()
+    print("\nreplaying the identical contact process under two protocols:\n")
+    print(f"{'protocol':<10} | {'feed deliveries':>15} | {'transfers':>9} | {'bytes':>9}")
+    print("-" * 52)
+    for protocol in ("interest", "epidemic"):
+        stats = replay_phase(trace_text, protocol)
+        print(f"{protocol:<10} | {stats['delivered']:>15} | "
+              f"{stats['transfers']:>9} | {stats['bytes']:>9,}")
+    print("\nsame contacts, same posts — protocol differences are now "
+          "attributable to the protocols alone.")
+
+
+if __name__ == "__main__":
+    main()

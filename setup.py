@@ -1,0 +1,10 @@
+"""Setup shim for environments without PEP 660 editable-install support.
+
+``pip install -e .`` needs the ``wheel`` package for editable builds; in
+offline environments without it, run ``python setup.py develop`` instead.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

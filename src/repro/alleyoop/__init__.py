@@ -1,0 +1,29 @@
+"""AlleyOop Social — the delay tolerant social network built on SOS.
+
+The application layer of the paper (§III-A, §V): user accounts with the
+one-time PKI sign-up (Fig. 2a), posts and follow/unfollow actions saved to
+the local database and synchronised with the cloud when the Internet is
+available, message dissemination over whatever DTN routing protocol the
+user selects, and a feed of received posts from followed users.
+
+Named after the basketball "alley oop": a message that cannot reach its
+destination is caught by intermediate devices, which keep passing it until
+it scores.
+"""
+
+from repro.alleyoop.cloud import CloudAccount, CloudService
+from repro.alleyoop.signup import SignupResult, sign_up
+from repro.alleyoop.post import Post
+from repro.alleyoop.feed import Feed, FeedEntry
+from repro.alleyoop.app import AlleyOopApp
+
+__all__ = [
+    "CloudAccount",
+    "CloudService",
+    "SignupResult",
+    "sign_up",
+    "Post",
+    "Feed",
+    "FeedEntry",
+    "AlleyOopApp",
+]

@@ -1,0 +1,215 @@
+"""The AlleyOop Social application.
+
+Composes the SOS middleware with the app-level concerns the paper assigns
+to the application layer (§III-A, §V): the local database (action log),
+cloud sync when online, the follow list (wired into the middleware as the
+interest set), and the feed.
+
+Every user interaction follows §V's two-step rule:
+
+1. save the action to the local database,
+2. queue it for cloud sync (delivered whenever the Internet is next
+   available) — and, independently, let the DTN disseminate it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.alleyoop.cloud import CloudError, CloudService
+from repro.alleyoop.feed import Feed, FeedEntry
+from repro.alleyoop.post import Post
+from repro.core.config import SosConfig
+from repro.core.delegates import SosDelegate
+from repro.core.middleware import SOSMiddleware
+from repro.core.routing.registry import RoutingRegistry
+from repro.crypto.drbg import RandomSource
+from repro.mpc.framework import MpcFramework
+from repro.pki.keystore import KeyStore
+from repro.sim.engine import Simulator
+from repro.storage.actionlog import ActionKind, ActionLog
+from repro.storage.messagestore import StoredMessage
+from repro.storage.syncqueue import SyncQueue
+
+
+class AlleyOopApp(SosDelegate):
+    """One user's AlleyOop Social instance on one device."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        framework: MpcFramework,
+        device_id: str,
+        user_id: str,
+        username: str,
+        keystore: KeyStore,
+        cloud: CloudService,
+        rng: RandomSource,
+        config: Optional[SosConfig] = None,
+        registry: Optional[RoutingRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.user_id = user_id
+        self.username = username
+        self.cloud = cloud
+        self.actions = ActionLog()
+        self.sync_queue = SyncQueue(self.actions)
+        self.feed = Feed()
+        self.follows: Set[str] = set()
+        #: Subscription knowledge gossiped by other users (author ->
+        #: followee set), maintained when gossip_follows is enabled.
+        self.social_map: dict = {}
+        self._notifications: List[str] = []
+        self.sos = SOSMiddleware(
+            sim=sim,
+            framework=framework,
+            device_id=device_id,
+            user_id=user_id,
+            keystore=keystore,
+            rng=rng,
+            config=config,
+            delegate=self,
+            registry=registry,
+        )
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> None:
+        self.sos.start()
+
+    def stop(self) -> None:
+        self.sos.stop()
+
+    # -- user actions (§V: local save + cloud sync + dissemination) -----------------
+    def post(self, text: str, topic: Optional[str] = None) -> StoredMessage:
+        """Publish a post."""
+        body = Post(text=text, topic=topic).encode()
+        message = self.sos.send(body)
+        self.actions.append(
+            ActionKind.POST,
+            actor=self.user_id,
+            created_at=self.sim.now,
+            number=message.number,
+            text=text,
+        )
+        self.try_cloud_sync()
+        return message
+
+    def follow(self, user_id: str) -> None:
+        """Subscribe to another user's posts."""
+        if user_id == self.user_id:
+            raise ValueError("cannot follow yourself")
+        if user_id in self.follows:
+            return
+        self.follows.add(user_id)
+        self.sos.set_interests(self.follows)
+        self.actions.append(
+            ActionKind.FOLLOW, actor=self.user_id, created_at=self.sim.now, target=user_id
+        )
+        self.sim.trace.emit(self.sim.now, "social", "follow", follower=self.user_id, followee=user_id)
+        self._gossip_action("follow", user_id)
+        self.try_cloud_sync()
+
+    def unfollow(self, user_id: str) -> None:
+        if user_id not in self.follows:
+            return
+        self.follows.discard(user_id)
+        self.sos.set_interests(self.follows)
+        self.actions.append(
+            ActionKind.UNFOLLOW, actor=self.user_id, created_at=self.sim.now, target=user_id
+        )
+        self.sim.trace.emit(self.sim.now, "social", "unfollow", follower=self.user_id, followee=user_id)
+        self._gossip_action("unfollow", user_id)
+        self.try_cloud_sync()
+
+    def _gossip_action(self, action: str, target: str) -> None:
+        """Publish a follow/unfollow as a system message (§V), when the
+        middleware is configured to gossip subscription changes."""
+        if not self.sos.config.gossip_follows:
+            return
+        body = Post(
+            text="", topic="sys:subscription",
+            attributes={"action": action, "followee": target},
+        ).encode()
+        self.sos.send(body)
+
+    def select_routing(self, name: str) -> None:
+        """The in-app scheme toggle (§VII)."""
+        self.sos.select_protocol(name)
+
+    # -- cloud --------------------------------------------------------------------------
+    def try_cloud_sync(self) -> int:
+        """Opportunistically sync pending actions; 0 when offline."""
+        try:
+            return self.sync_queue.sync(self.cloud.sync_uplink(self.user_id))
+        except CloudError:
+            return 0
+
+    def refresh_revocations(self) -> bool:
+        """Pull the CA's CRL — only works with infrastructure (§IV)."""
+        if not self.cloud.online:
+            return False
+        self.sos.adhoc.keystore.sync_revocations(self.cloud.ca.revocations)
+        return True
+
+    # -- SosDelegate --------------------------------------------------------------------
+    def sos_message_received(self, message: StoredMessage, from_user: str) -> None:
+        if self._maybe_apply_subscription_gossip(message):
+            return
+        if message.author_id in self.follows or message.author_id == self.user_id:
+            entry = self.feed.ingest(message)
+            if entry is not None:
+                self.sim.trace.emit(
+                    self.sim.now,
+                    "app",
+                    "feed",
+                    owner=self.user_id,
+                    author=message.author_id,
+                    number=message.number,
+                    hops=message.hops,
+                    delay=entry.delay,
+                )
+
+    def _maybe_apply_subscription_gossip(self, message: StoredMessage) -> bool:
+        """Apply a gossiped follow/unfollow action (returns True when the
+        message was subscription gossip, which never enters the feed)."""
+        try:
+            post = Post.from_message(message)
+        except Exception:
+            return False
+        if post.topic != "sys:subscription":
+            return False
+        action = post.attributes.get("action")
+        followee = post.attributes.get("followee")
+        if not followee:
+            return True
+        followers = self.social_map.setdefault(followee, set())
+        if action == "follow":
+            followers.add(message.author_id)
+        elif action == "unfollow":
+            followers.discard(message.author_id)
+        # Feed destination knowledge to hint-aware routing protocols.
+        protocol = self.sos.messages.protocol
+        hints = getattr(protocol, "subscriber_hints", None)
+        if hints is not None:
+            hints[followee] = set(followers)
+        return True
+
+    def sos_surrounding_users_changed(self, user_ids: List[str]) -> None:
+        self._notifications.append(f"nearby: {', '.join(user_ids) if user_ids else '(none)'}")
+
+    def sos_peer_verified(self, user_id: str) -> None:
+        self._notifications.append(f"verified: {user_id}")
+
+    def sos_security_event(self, user_id: str, reason: str) -> None:
+        self._notifications.append(f"security: {user_id}: {reason}")
+
+    # -- views ---------------------------------------------------------------------------
+    @property
+    def notifications(self) -> List[str]:
+        return list(self._notifications)
+
+    def timeline(self) -> List[FeedEntry]:
+        return self.feed.entries()
+
+    def own_post_count(self) -> int:
+        return self.sos.store.highest_number(self.user_id)

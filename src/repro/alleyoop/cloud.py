@@ -1,0 +1,135 @@
+"""The AlleyOop cloud: account directory, CA front-end, action sync.
+
+The cloud is infrastructure — it exists so the *one-time* requirement of
+Fig. 2a has something to talk to, and to absorb action syncs "when the
+Internet becomes available" (§V).  Crucially, nothing in dissemination
+depends on it after sign-up; the integration tests assert that a study
+with the cloud switched off after t=0 produces identical D2D results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.advertisement import validate_user_id
+from repro.pki.ca import CertificateAuthority
+from repro.pki.certificate import Certificate, CertificateError
+from repro.pki.csr import CertificateSigningRequest
+from repro.storage.actionlog import Action
+
+
+class CloudError(RuntimeError):
+    """Cloud-side rejection (unknown account, offline, bad credentials)."""
+
+
+@dataclass
+class CloudAccount:
+    """One registered AlleyOop user."""
+
+    username: str
+    user_id: str
+    created_at: float
+    certificate_serial: Optional[int] = None
+    synced_actions: List[Action] = field(default_factory=list)
+    last_synced_seq: int = 0
+
+
+class CloudService:
+    """Account registry + CA bridge + sync endpoint."""
+
+    def __init__(self, ca: Optional[CertificateAuthority] = None, **ca_kwargs) -> None:
+        self.ca = ca or CertificateAuthority(**ca_kwargs)
+        self._accounts: Dict[str, CloudAccount] = {}  # by username
+        self._by_user_id: Dict[str, CloudAccount] = {}
+        self.online = True
+        self.stats = {"signups": 0, "certificates_issued": 0, "syncs": 0, "actions_accepted": 0}
+
+    def _require_online(self) -> None:
+        if not self.online:
+            raise CloudError("no Internet connectivity")
+
+    # -- accounts -----------------------------------------------------------------
+    def create_account(self, username: str, now: float) -> CloudAccount:
+        """Register a user and mint the unique 10-byte user-identifier."""
+        self._require_online()
+        if not username:
+            raise CloudError("username must be non-empty")
+        if username in self._accounts:
+            raise CloudError(f"username {username!r} is taken")
+        user_id = validate_user_id(f"u{len(self._accounts):09d}")
+        account = CloudAccount(username=username, user_id=user_id, created_at=now)
+        self._accounts[username] = account
+        self._by_user_id[user_id] = account
+        self.stats["signups"] += 1
+        return account
+
+    def account_for(self, username: str) -> CloudAccount:
+        account = self._accounts.get(username)
+        if account is None:
+            raise CloudError(f"unknown account {username!r}")
+        return account
+
+    def account_by_user_id(self, user_id: str) -> Optional[CloudAccount]:
+        return self._by_user_id.get(user_id)
+
+    # -- certificates (the Fig. 2a flow) ---------------------------------------------
+    def request_certificate(
+        self, username: str, csr: CertificateSigningRequest, now: float
+    ) -> Certificate:
+        """Relay a CSR to the CA with the logged-in user's identifier.
+
+        The cloud performs the paper's §IV mitigation: it asks the CA to
+        "compare and validate the unique user-identifier provided in the
+        certificate with the unique user-identifier affiliated with the
+        logged in user" — a CSR claiming someone else's id is rejected.
+        """
+        self._require_online()
+        account = self.account_for(username)
+        try:
+            certificate = self.ca.issue(csr, now=now, expected_user_id=account.user_id)
+        except CertificateError as exc:
+            raise CloudError(f"certificate issuance refused: {exc}") from exc
+        account.certificate_serial = certificate.serial
+        self.stats["certificates_issued"] += 1
+        return certificate
+
+    @property
+    def root_certificate(self) -> Certificate:
+        return self.ca.root_certificate
+
+    def revoke_user(self, username: str, now: float, reason: str = "compromised") -> None:
+        """Revoke a user's certificate (requires infrastructure, §IV)."""
+        self._require_online()
+        account = self.account_for(username)
+        if account.certificate_serial is None:
+            raise CloudError(f"{username!r} holds no certificate")
+        self.ca.revoke(account.certificate_serial, now=now, reason=reason)
+
+    # -- action sync -------------------------------------------------------------------
+    def sync_uplink(self, user_id: str):
+        """An uplink callable for :class:`repro.storage.syncqueue.SyncQueue`.
+
+        Raises :class:`CloudError` when offline — the sync queue keeps the
+        batch pending, which is exactly the at-least-once behaviour §V
+        describes.
+        """
+
+        def _uplink(batch: List[Action]) -> int:
+            self._require_online()
+            account = self._by_user_id.get(user_id)
+            if account is None:
+                raise CloudError(f"unknown user id {user_id!r}")
+            accepted = account.last_synced_seq
+            for action in batch:
+                if action.seq != accepted + 1:
+                    break  # gap: accept the contiguous prefix only
+                account.synced_actions.append(action)
+                accepted = action.seq
+            newly = accepted - account.last_synced_seq
+            account.last_synced_seq = accepted
+            self.stats["syncs"] += 1
+            self.stats["actions_accepted"] += newly
+            return accepted
+
+        return _uplink

@@ -1,0 +1,74 @@
+"""The user's feed: posts from followed users, newest first."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.alleyoop.post import Post, PostFormatError
+from repro.storage.messagestore import StoredMessage
+
+
+@dataclass(frozen=True)
+class FeedEntry:
+    """One rendered feed item."""
+
+    author_id: str
+    number: int
+    created_at: float
+    received_at: float
+    hops: int
+    post: Post
+
+    @property
+    def delay(self) -> float:
+        """Seconds from creation to this device receiving it."""
+        return self.received_at - self.created_at
+
+
+class Feed:
+    """Ordered, deduplicated collection of received posts."""
+
+    def __init__(self) -> None:
+        self._entries: List[FeedEntry] = []
+        self._seen: set = set()
+
+    def ingest(self, message: StoredMessage) -> Optional[FeedEntry]:
+        """Add a verified message to the feed.  Returns the entry, or
+        None for duplicates and undecodable payloads."""
+        key: Tuple[str, int] = (message.author_id, message.number)
+        if key in self._seen:
+            return None
+        try:
+            post = Post.from_message(message)
+        except PostFormatError:
+            return None
+        entry = FeedEntry(
+            author_id=message.author_id,
+            number=message.number,
+            created_at=message.created_at,
+            received_at=message.received_at if message.received_at is not None else message.created_at,
+            hops=message.hops,
+            post=post,
+        )
+        self._seen.add(key)
+        self._entries.append(entry)
+        return entry
+
+    def entries(self, newest_first: bool = True) -> List[FeedEntry]:
+        return sorted(
+            self._entries, key=lambda e: (e.created_at, e.author_id, e.number),
+            reverse=newest_first,
+        )
+
+    def from_author(self, author_id: str) -> List[FeedEntry]:
+        return sorted(
+            (e for e in self._entries if e.author_id == author_id),
+            key=lambda e: e.number,
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Tuple[str, int]) -> bool:
+        return key in self._seen

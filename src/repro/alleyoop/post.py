@@ -1,0 +1,60 @@
+"""Post content encoding.
+
+A post is the application payload inside a SOS message: UTF-8 text plus a
+small amount of structured metadata, encoded as JSON bytes (the middleware
+neither knows nor cares — it signs and moves opaque bytes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.storage.messagestore import StoredMessage
+
+
+class PostFormatError(ValueError):
+    """Payload did not decode as an AlleyOop post."""
+
+
+@dataclass(frozen=True)
+class Post:
+    """One AlleyOop Social post."""
+
+    text: str
+    topic: Optional[str] = None
+    attributes: Dict[str, str] = field(default_factory=dict)
+
+    MAX_TEXT_BYTES = 8192
+
+    def encode(self) -> bytes:
+        raw = self.text.encode("utf-8")
+        if len(raw) > self.MAX_TEXT_BYTES:
+            raise PostFormatError(
+                f"post text too long ({len(raw)} > {self.MAX_TEXT_BYTES} bytes)"
+            )
+        payload = {"v": 1, "text": self.text}
+        if self.topic is not None:
+            payload["topic"] = self.topic
+        if self.attributes:
+            payload["attrs"] = dict(self.attributes)
+        return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def decode(cls, body: bytes) -> "Post":
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise PostFormatError(f"undecodable post payload: {exc}") from exc
+        if not isinstance(payload, dict) or payload.get("v") != 1 or "text" not in payload:
+            raise PostFormatError(f"unrecognised post structure: {payload!r}")
+        return cls(
+            text=str(payload["text"]),
+            topic=payload.get("topic"),
+            attributes=dict(payload.get("attrs", {})),
+        )
+
+    @classmethod
+    def from_message(cls, message: StoredMessage) -> "Post":
+        return cls.decode(message.body)

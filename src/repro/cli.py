@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+``python -m repro <command>`` drives the evaluation harness without
+writing any code:
+
+* ``study``    — run the Gainesville field-study reconstruction and print
+  the paper-vs-measured report (plus optional map/CDF detail),
+* ``compare``  — run every routing protocol on the identical deployment,
+* ``density``  — the higher-density sweep the paper calls for,
+* ``protocols`` — list available routing schemes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.routing.registry import RoutingRegistry
+from repro.experiments import (
+    DensitySweep,
+    GainesvilleStudy,
+    ProtocolComparison,
+    ScenarioConfig,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=2017, help="master seed")
+    parser.add_argument("--days", type=int, default=None, help="study length in days")
+    parser.add_argument("--posts", type=int, default=None, help="total posts to schedule")
+    parser.add_argument("--users", type=int, default=None, help="population size")
+    parser.add_argument(
+        "--protocol", default=None, help="routing protocol (default: interest)"
+    )
+
+
+def _config_from(args: argparse.Namespace) -> ScenarioConfig:
+    kwargs = {"seed": args.seed}
+    if args.days is not None:
+        kwargs["duration_days"] = args.days
+    if args.posts is not None:
+        kwargs["total_posts"] = args.posts
+    if args.users is not None:
+        kwargs["num_users"] = args.users
+    if args.protocol is not None:
+        kwargs["routing_protocol"] = args.protocol
+    return ScenarioConfig(**kwargs)
+
+
+def cmd_study(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    print(
+        f"running: {config.num_users} users, {config.duration_days} days, "
+        f"{config.total_posts} posts, protocol={config.routing_protocol!r}",
+        file=sys.stderr,
+    )
+    result = GainesvilleStudy(config).run()
+    print(result.report())
+    if args.map:
+        print()
+        print("Fig. 4b overlay (b=creation, r=dissemination, x=both):")
+        print(result.overlay.ascii_map())
+    if args.cdf:
+        print()
+        print("delay CDF (hours, F(all), F(1-hop)):")
+        for h, f_all, f_one in result.delay.curve_hours():
+            print(f"  {h:>5.0f}  {f_all:.3f}  {f_one:.3f}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    protocols = tuple(args.only.split(",")) if args.only else ProtocolComparison.DEFAULT_PROTOCOLS
+    comparison = ProtocolComparison(base_config=config, protocols=protocols)
+    comparison.run()
+    print(comparison.report())
+    return 0
+
+
+def cmd_density(args: argparse.Namespace) -> int:
+    config = _config_from(args)
+    populations = tuple(int(p) for p in args.populations.split(","))
+    sweep = DensitySweep(base_config=config, populations=populations)
+    sweep.run()
+    print(sweep.report())
+    return 0
+
+
+def cmd_protocols(args: argparse.Namespace) -> int:
+    for name in RoutingRegistry.with_builtins().names():
+        print(name)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SOS middleware / AlleyOop Social reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    study = sub.add_parser("study", help="run the Gainesville field-study reconstruction")
+    _add_common(study)
+    study.add_argument("--map", action="store_true", help="print the Fig. 4b ASCII map")
+    study.add_argument("--cdf", action="store_true", help="print the Fig. 4c CDF series")
+    study.set_defaults(func=cmd_study)
+
+    compare = sub.add_parser("compare", help="compare routing protocols on one deployment")
+    _add_common(compare)
+    compare.add_argument(
+        "--only", default=None, help="comma-separated protocol names (default: all)"
+    )
+    compare.set_defaults(func=cmd_compare)
+
+    density = sub.add_parser("density", help="population-density sweep")
+    _add_common(density)
+    density.add_argument(
+        "--populations", default="10,16,24", help="comma-separated population sizes"
+    )
+    density.set_defaults(func=cmd_density)
+
+    protocols = sub.add_parser("protocols", help="list available routing schemes")
+    protocols.set_defaults(func=cmd_protocols)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""The Secure Opportunistic Schemes (SOS) middleware.
+
+This package is the paper's primary contribution (Fig. 1's orange and blue
+layers), reproduced in Python:
+
+* :mod:`repro.core.adhoc` — the **ad hoc manager**: wraps (simulated)
+  Multipeer Connectivity, owns keys and certificates, validates peers,
+  encrypts/decrypts end-to-end and signs/verifies everything sent,
+* :mod:`repro.core.message_manager` — the **message manager**: peer
+  found/lost notification, transfer bookkeeping across disconnections,
+  and translation between routing-layer and ad hoc-layer formats,
+* :mod:`repro.core.routing` — the **routing manager**: a modular protocol
+  API with the paper's two schemes (Epidemic and Interest-Based) plus
+  baseline protocols demonstrating the modularity claim,
+* :mod:`repro.core.middleware` — the **SOSMiddleware** facade exposing the
+  APIs the paper lists (§III-A): send/receive data, surrounding-user
+  notification, routing-protocol selection, and security preferences.
+
+A separate middleware instance runs *inside each application* (per-app
+instance, not a system daemon — the paper's App Store-compliance design,
+§III).
+"""
+
+from repro.core.config import SosConfig
+from repro.core.errors import SecurityError, SosError
+from repro.core.middleware import SOSMiddleware
+from repro.core.delegates import SosDelegate
+from repro.core.routing import (
+    EpidemicRouting,
+    InterestBasedRouting,
+    RoutingProtocol,
+    RoutingRegistry,
+)
+
+__all__ = [
+    "SosConfig",
+    "SosError",
+    "SecurityError",
+    "SOSMiddleware",
+    "SosDelegate",
+    "RoutingProtocol",
+    "RoutingRegistry",
+    "EpidemicRouting",
+    "InterestBasedRouting",
+]

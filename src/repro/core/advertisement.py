@@ -1,0 +1,86 @@
+"""Plain-text discovery advertisements (paper §V-A).
+
+Devices "roam freely advertising and browsing for basic information in
+plain-text": a dictionary whose keys are 10-byte unique user-identifier
+strings and whose values are the latest MessageNumber the advertiser holds
+for that user.  A browsing node compares the dictionary against its own
+store and its interests and decides whether a connection is worth
+requesting — *before* any session, certificate, or ciphertext exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.config import USER_ID_LENGTH
+
+
+class AdvertisementError(ValueError):
+    """Malformed advertisement content."""
+
+
+def validate_user_id(user_id: str) -> str:
+    """Enforce the paper's 10-byte user-identifier format."""
+    if len(user_id.encode("utf-8")) != USER_ID_LENGTH:
+        raise AdvertisementError(
+            f"user id must be exactly {USER_ID_LENGTH} bytes, got {user_id!r} "
+            f"({len(user_id.encode('utf-8'))} bytes)"
+        )
+    return user_id
+
+
+def build_advertisement(marks: Dict[str, int], limit: int = 64) -> Dict[str, str]:
+    """Encode ``{user_id: highest_message_number}`` as the MPC discovery
+    dictionary (string-to-string).
+
+    When the store knows more authors than ``limit``, the entries with the
+    highest message numbers win — freshest content is the most useful
+    thing to announce to strangers.
+    """
+    items = sorted(marks.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+    info = {}
+    for user_id, number in items:
+        validate_user_id(user_id)
+        if number < 1:
+            raise AdvertisementError(f"message number must be >= 1, got {number}")
+        info[user_id] = str(number)
+    return info
+
+
+def parse_advertisement(info: Dict[str, str]) -> Dict[str, int]:
+    """Decode a discovery dictionary, discarding malformed entries.
+
+    Advertisements arrive from untrusted strangers over the air; a bad
+    entry must never crash the browser, so parsing is lenient: entries
+    that fail validation are dropped, the rest survive.
+    """
+    marks: Dict[str, int] = {}
+    for user_id, raw in info.items():
+        try:
+            validate_user_id(user_id)
+            number = int(raw)
+        except (AdvertisementError, ValueError):
+            continue
+        if number >= 1:
+            marks[user_id] = number
+    return marks
+
+
+def interesting_entries(
+    advert: Dict[str, int],
+    own_marks: Dict[str, int],
+    interests: frozenset = None,
+) -> Dict[str, int]:
+    """Entries of ``advert`` that announce content newer than ``own_marks``.
+
+    ``interests`` restricts the comparison to a set of user ids (the
+    interest-based protocol passes its subscriptions; epidemic passes
+    ``None`` = everything).
+    """
+    out = {}
+    for user_id, number in advert.items():
+        if interests is not None and user_id not in interests:
+            continue
+        if number > own_marks.get(user_id, 0):
+            out[user_id] = number
+    return out

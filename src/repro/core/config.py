@@ -1,0 +1,68 @@
+"""SOS middleware configuration.
+
+One :class:`SosConfig` instance parameterises a middleware instance; the
+defaults reproduce the deployment configuration of the field study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: The paper fixes user identifiers at 10 bytes (§V-A).
+USER_ID_LENGTH = 10
+
+
+@dataclass
+class SosConfig:
+    """Tunable middleware parameters.
+
+    Attributes
+    ----------
+    service_type:
+        MPC service type string; apps with different service types never
+        discover each other (per-app middleware isolation).
+    routing_protocol:
+        Name of the initially selected routing protocol (user-toggleable
+        at runtime, §VII).
+    buffer_capacity_bytes:
+        Message-store budget for *forwarded* copies; ``None`` = unbounded.
+    advertisement_limit:
+        Maximum number of (UserID, MessageNumber) entries advertised; the
+        freshest authors win when the store knows more (MPC's discovery
+        payload is small).
+    require_encryption:
+        Security preference: refuse plaintext payload exchange.  The field
+        study ran with encryption on; turning it off is only for the
+        security-cost ablation bench.
+    certificate_exchange_timeout:
+        Seconds to wait for the peer's certificate before dropping the
+        session.
+    reconnect_backoff:
+        Seconds to ignore a peer after a failed security handshake.
+    relay_request_grace:
+        Seconds a node waits before pulling content from a *relay* when
+        the same content might arrive from its author directly (origin
+        preference; see routing/base.py).  0 disables the preference.
+    """
+
+    service_type: str = "sos-alleyoop"
+    routing_protocol: str = "interest"
+    buffer_capacity_bytes: int = 16 * 1024 * 1024
+    advertisement_limit: int = 64
+    require_encryption: bool = True
+    certificate_exchange_timeout: float = 20.0
+    reconnect_backoff: float = 300.0
+    relay_request_grace: float = 90.0
+    #: Disseminate follow/unfollow actions as (system) messages — §V's
+    #: "performs an action such as follow/unfollow of a user".  Gossiped
+    #: subscription knowledge feeds destination-aware protocols
+    #: (spray-and-wait, PRoPHET, BubbleRap) via their subscriber_hints.
+    #: Off by default: the calibrated field-study reproduction measures
+    #: post dissemination only.
+    gossip_follows: bool = False
+
+    def __post_init__(self) -> None:
+        if self.advertisement_limit < 1:
+            raise ValueError("advertisement_limit must be at least 1")
+        if self.certificate_exchange_timeout <= 0:
+            raise ValueError("certificate_exchange_timeout must be positive")

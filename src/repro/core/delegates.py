@@ -1,0 +1,35 @@
+"""Application-facing callback interfaces.
+
+The mobile application (AlleyOop Social or any other overlay) receives
+middleware events through a :class:`SosDelegate` — the Swift middleware's
+delegate-protocol idiom, kept because it makes the app/middleware boundary
+explicit and testable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.storage.messagestore import StoredMessage
+
+
+class SosDelegate:
+    """Override the callbacks your application cares about."""
+
+    def sos_message_received(self, message: StoredMessage, from_user: str) -> None:
+        """A new, verified message arrived (possibly forwarded).
+
+        ``from_user`` is the user the device received the bytes from, not
+        necessarily the author.
+        """
+
+    def sos_surrounding_users_changed(self, user_ids: List[str]) -> None:
+        """The set of discovered nearby users changed (the paper's
+        "surrounding user notification" API)."""
+
+    def sos_peer_verified(self, user_id: str) -> None:
+        """A nearby user completed the certificate handshake."""
+
+    def sos_security_event(self, user_id: str, reason: str) -> None:
+        """A peer failed a security check (bad certificate, bad signature,
+        tampered payload).  The middleware already disconnected it."""

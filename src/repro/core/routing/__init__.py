@@ -1,0 +1,43 @@
+"""The routing manager (paper §III-B).
+
+"Routing in SOS is designed for modularity, permitting additional DTN
+routing schemes to be developed on top of the message manager" — this
+package is that modular layer.  :class:`RoutingProtocol` is the API every
+scheme implements; the registry supports runtime protocol toggling (the
+demo lets users switch schemes inside the app, §VII).
+
+Shipped protocols:
+
+* :class:`EpidemicRouting` — gratuitous replication on every encounter
+  [Vahdat & Becker 2000], one of the paper's two schemes,
+* :class:`InterestBasedRouting` — the paper's IB scheme: identical to
+  epidemic *except* messages propagate only to users subscribed to the
+  message's publisher,
+* :class:`DirectDeliveryRouting`, :class:`FirstContactRouting`,
+  :class:`SprayAndWaitRouting`, :class:`ProphetRouting` — classic DTN
+  baselines (adapted to SOS's publish/subscribe model) that demonstrate
+  the modularity claim and power the comparison benches.
+"""
+
+from repro.core.routing.base import RouterServices, RoutingProtocol
+from repro.core.routing.registry import RoutingRegistry
+from repro.core.routing.epidemic import EpidemicRouting
+from repro.core.routing.interest import InterestBasedRouting
+from repro.core.routing.direct import DirectDeliveryRouting
+from repro.core.routing.first_contact import FirstContactRouting
+from repro.core.routing.spray_wait import SprayAndWaitRouting
+from repro.core.routing.prophet import ProphetRouting
+from repro.core.routing.bubble import BubbleRapRouting
+
+__all__ = [
+    "RouterServices",
+    "RoutingProtocol",
+    "RoutingRegistry",
+    "EpidemicRouting",
+    "InterestBasedRouting",
+    "DirectDeliveryRouting",
+    "FirstContactRouting",
+    "SprayAndWaitRouting",
+    "ProphetRouting",
+    "BubbleRapRouting",
+]

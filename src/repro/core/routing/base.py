@@ -1,0 +1,195 @@
+"""The routing-protocol API.
+
+A routing protocol never touches MPC, sessions, certificates or crypto —
+those live below, in the message manager and ad hoc manager.  It sees
+exactly four kinds of events and answers three kinds of questions, which
+is why the paper's protocols fit in "less than 100 lines of Swift code"
+(§III-B); the Python equivalents here are similarly compact.
+
+Events (pushed by the message manager):
+
+* :meth:`RoutingProtocol.on_peer_discovered` — a plain-text advertisement
+  from a nearby user; decide whether to request a connection,
+* :meth:`RoutingProtocol.on_peer_secured` — the encrypted, authenticated
+  connection is ready; decide what to request,
+* :meth:`RoutingProtocol.on_peer_lost` — the peer left range,
+* :meth:`RoutingProtocol.on_message_received` — a verified message
+  arrived; decide whether this node becomes a forwarder for it,
+* :meth:`RoutingProtocol.on_control` — protocol-private control payload.
+
+Questions (pulled by the message manager):
+
+* :meth:`RoutingProtocol.serve_request` — which of the requested messages
+  to hand a peer,
+* :meth:`RoutingProtocol.advertisement_marks` — which
+  (UserID, MessageNumber) entries to advertise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, FrozenSet, List
+
+from repro.storage.messagestore import MessageStore, StoredMessage
+
+
+class RouterServices(ABC):
+    """What the message manager offers a routing protocol."""
+
+    @property
+    @abstractmethod
+    def user_id(self) -> str:
+        """This node's own user identifier."""
+
+    @property
+    @abstractmethod
+    def store(self) -> MessageStore:
+        """The local message store."""
+
+    @property
+    @abstractmethod
+    def subscriptions(self) -> FrozenSet[str]:
+        """User ids this node's user follows (interest set)."""
+
+    @abstractmethod
+    def now(self) -> float:
+        """Current time (simulation or wall clock)."""
+
+    @abstractmethod
+    def connect(self, peer_user: str) -> bool:
+        """Request a D2D connection to a discovered user."""
+
+    @abstractmethod
+    def request_messages(self, peer_user: str, author_id: str, numbers: List[int]) -> None:
+        """Ask a secured peer for specific message numbers of one author."""
+
+    @abstractmethod
+    def send_message(
+        self,
+        peer_user: str,
+        message: StoredMessage,
+        on_complete: Callable[[bool], None] = None,
+    ) -> None:
+        """Send one stored message to a secured peer."""
+
+    @abstractmethod
+    def send_control(self, peer_user: str, payload: bytes) -> None:
+        """Send protocol-private control data to a secured peer."""
+
+    @abstractmethod
+    def secured_peers(self) -> List[str]:
+        """Currently secured (connected + certificate-validated) users."""
+
+    @abstractmethod
+    def defer(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` seconds (protocol timers)."""
+
+    @property
+    def relay_request_grace(self) -> float:
+        """Seconds to wait before pulling *relayed* copies (see
+        :meth:`RoutingProtocol.request_missing_from`)."""
+        return 0.0
+
+
+class RoutingProtocol(ABC):
+    """Base class for DTN routing schemes."""
+
+    #: Registry key; subclasses must override.
+    name: str = ""
+
+    def __init__(self) -> None:
+        self.services: RouterServices = None
+
+    def attach(self, services: RouterServices) -> None:
+        """Bind the protocol to a middleware instance.  Called once, by
+        the message manager, before any event is delivered."""
+        self.services = services
+
+    def detach(self) -> None:
+        """Called when the user toggles to another protocol; drop any
+        per-peer state (the store itself stays)."""
+        self.services = None
+
+    # -- events ---------------------------------------------------------------
+    @abstractmethod
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        """Plain-text advertisement observed (connection not yet made)."""
+
+    @abstractmethod
+    def on_peer_secured(self, peer_user: str) -> None:
+        """Secure channel ready: request whatever this scheme wants."""
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        """Peer left range / disconnected.  Default: nothing."""
+
+    @abstractmethod
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        """A verified message arrived.  Return True to store it (become a
+        forwarder, paper §V-B), False to drop it."""
+
+    def on_control(self, peer_user: str, payload: bytes) -> None:
+        """Protocol-private control payload.  Default: ignore."""
+
+    # -- helpers for request-driven schemes ------------------------------------------
+    def request_missing_from(
+        self,
+        peer_user: str,
+        advert: Dict[str, int],
+        interests: FrozenSet[str] = None,
+    ) -> int:
+        """Request every advertised message we lack (optionally limited to
+        ``interests``).  Returns the number of requests issued.
+
+        Advertisements refresh while a connection is still up (a peer that
+        just received news re-announces it), so request-driven schemes
+        call this both when a connection becomes secure and when an
+        already-secured peer re-advertises.
+
+        **Origin preference**: entries the advertising peer *authored* are
+        requested immediately (the paper's canonical Fig. 2b pull —
+        "Bob's device is interested in messages from Alice's device");
+        entries it would merely relay are requested after a grace period,
+        so when the author is also in range the source copy wins and the
+        hop count stays at one.  The grace comes from
+        :attr:`RouterServices.relay_request_grace`; already-received
+        numbers are dropped at fire time by the message manager's
+        request dedup.
+        """
+        store = self.services.store
+        requests = 0
+        grace = self.services.relay_request_grace
+        for author_id, their_highest in advert.items():
+            if interests is not None and author_id not in interests:
+                continue
+            missing = store.missing_below(author_id, their_highest)
+            if not missing:
+                continue
+            if author_id == peer_user or grace <= 0.0:
+                self.services.request_messages(peer_user, author_id, missing)
+            else:
+                self.services.defer(
+                    grace,
+                    lambda p=peer_user, a=author_id, m=tuple(missing): (
+                        self.services.request_messages(p, a, list(m))
+                        if self.services is not None
+                        else None
+                    ),
+                )
+            requests += 1
+        return requests
+
+    def is_secured(self, peer_user: str) -> bool:
+        return peer_user in self.services.secured_peers()
+
+    # -- questions ----------------------------------------------------------------
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        """Which of the requested messages to send.  Default: everything
+        we hold (request-driven schemes gate at the *requester* side)."""
+        return self.services.store.messages_for(author_id, numbers)
+
+    def advertisement_marks(self) -> Dict[str, int]:
+        """(UserID -> MessageNumber) entries to advertise.  Default: the
+        store's high-water marks."""
+        return self.services.store.advertisement_marks()

@@ -1,0 +1,147 @@
+"""BubbleRap-style social routing [Hui, Crowcroft, Yoneki 2008] (extension).
+
+The paper's related-work positions SOS as the vehicle for evaluating
+"social-aware and social-based routing schemes" (§II); BubbleRap is the
+canonical one, so the reproduction ships it as a demonstration that richer
+schemes fit the same ``RoutingProtocol`` API as the <100-line built-ins.
+
+Classic BubbleRap forwards a message up the *global* centrality gradient
+until it reaches a node in the destination's community, then up the
+*local* (intra-community) gradient.  Adapted to SOS's publish/subscribe
+model:
+
+* **community** — learned from contact familiarity: peers whose cumulative
+  contact time exceeds a threshold are community members (plus members
+  gossiped by other members),
+* **centrality** — approximated by the number of distinct peers
+  encountered in the recent window (degree centrality, as in the paper's
+  C-Window variant),
+* **destinations** — the author's subscribers, when known via
+  ``subscriber_hints`` (populated by application-layer gossip); with no
+  hints the scheme degrades to pure centrality-gradient forwarding.
+
+State is exchanged in CONTROL frames (JSON: centrality + community).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set
+
+from repro.core.advertisement import interesting_entries
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+class BubbleRapRouting(RoutingProtocol):
+    """Community/centrality-gradient forwarding."""
+
+    name = "bubble"
+
+    #: Cumulative contact seconds after which a peer joins the community.
+    FAMILIARITY_THRESHOLD = 1800.0
+    #: Centrality window length (seconds).
+    WINDOW = 6 * 3600.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+        self._contact_started: Dict[str, float] = {}
+        self._familiarity: Dict[str, float] = {}
+        self._encounters: List[tuple] = []  # (time, peer)
+        self.community: Set[str] = set()
+        self._peer_state: Dict[str, dict] = {}
+        self.subscriber_hints: Dict[str, Set[str]] = {}
+
+    # -- social metrics ---------------------------------------------------------
+    def centrality(self) -> int:
+        """Distinct peers met within the recent window."""
+        horizon = self.services.now() - self.WINDOW
+        return len({peer for t, peer in self._encounters if t >= horizon})
+
+    def _note_encounter(self, peer_user: str) -> None:
+        self._encounters.append((self.services.now(), peer_user))
+        horizon = self.services.now() - self.WINDOW
+        while self._encounters and self._encounters[0][0] < horizon:
+            self._encounters.pop(0)
+
+    def _update_familiarity(self, peer_user: str, seconds: float) -> None:
+        total = self._familiarity.get(peer_user, 0.0) + seconds
+        self._familiarity[peer_user] = total
+        if total >= self.FAMILIARITY_THRESHOLD:
+            self.community.add(peer_user)
+
+    # -- events ---------------------------------------------------------------------
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        fresh = interesting_entries(advert, self.services.store.advertisement_marks())
+        if not fresh:
+            return
+        if self.is_secured(peer_user):
+            self.request_missing_from(peer_user, advert)
+        else:
+            self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self._note_encounter(peer_user)
+        self._contact_started[peer_user] = self.services.now()
+        state = {
+            "centrality": self.centrality(),
+            "community": sorted(self.community),
+        }
+        self.services.send_control(peer_user, json.dumps(state).encode("utf-8"))
+        self.request_missing_from(peer_user, self._last_advert.get(peer_user, {}))
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+        started = self._contact_started.pop(peer_user, None)
+        if started is not None:
+            self._update_familiarity(peer_user, self.services.now() - started)
+
+    def on_control(self, peer_user: str, payload: bytes) -> None:
+        try:
+            data = json.loads(payload.decode("utf-8"))
+            state = {
+                "centrality": int(data.get("centrality", 0)),
+                "community": set(str(x) for x in data.get("community", [])),
+            }
+        except (ValueError, AttributeError, TypeError):
+            return
+        self._peer_state[peer_user] = state
+        # Community transitivity: members of my members lean in.
+        if peer_user in self.community:
+            for member in state["community"]:
+                if member != self.services.user_id:
+                    self._familiarity.setdefault(member, 0.0)
+
+    # -- forwarding decision ----------------------------------------------------------
+    def _destination_community(self, author_id: str) -> Set[str]:
+        return self.subscriber_hints.get(author_id, set())
+
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        peer = self._peer_state.get(peer_user, {"centrality": 0, "community": set()})
+        destinations = self._destination_community(author_id)
+        served = []
+        for message in self.services.store.messages_for(author_id, numbers):
+            if author_id == self.services.user_id:
+                served.append(message)  # we are the source: always serve
+                continue
+            if peer_user in destinations or peer_user == author_id:
+                served.append(message)  # direct delivery / author restore
+                continue
+            if destinations and (peer.get("community", set()) & destinations):
+                served.append(message)  # bubble reached the dest community
+                continue
+            if peer.get("centrality", 0) >= self.centrality():
+                served.append(message)  # climb the global gradient
+        return served
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        return True
+
+    def detach(self) -> None:
+        self._last_advert.clear()
+        self._peer_state.clear()
+        super().detach()

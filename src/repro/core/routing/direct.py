@@ -1,0 +1,71 @@
+"""Direct-delivery routing (baseline).
+
+The conservative extreme: a message is only ever transferred from its
+*author's* device directly to an interested subscriber — no intermediate
+forwarders, so every delivery is 1-hop.  Minimal overhead (each copy
+transferred at most once per subscriber), worst delay/coverage: author
+and subscriber must physically meet.  The 1-hop-only contrast for the
+Fig. 4c/4d "1-hop" vs "All" split.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+class DirectDeliveryRouting(RoutingProtocol):
+    """Author-to-subscriber transfers only."""
+
+    name = "direct"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        # Connect only when the advertising peer IS an author we follow
+        # and has news of its own.
+        if peer_user not in self.services.subscriptions:
+            return
+        own_mark = self.services.store.highest_number(peer_user)
+        if advert.get(peer_user, 0) > own_mark:
+            if self.is_secured(peer_user):
+                self._request_author(peer_user, advert)
+            else:
+                self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        if peer_user not in self.services.subscriptions:
+            return
+        self._request_author(peer_user, self._last_advert.get(peer_user, {}))
+
+    def _request_author(self, peer_user: str, advert: Dict[str, int]) -> None:
+        their_highest = advert.get(peer_user, 0)
+        missing = self.services.store.missing_below(peer_user, their_highest)
+        if missing:
+            self.services.request_messages(peer_user, peer_user, missing)
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        # Serve only our *own* messages: we never forward others'.
+        if author_id != self.services.user_id:
+            return []
+        return self.services.store.messages_for(author_id, numbers)
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        # Keep it for ourselves (we requested it because we subscribe),
+        # but serve_request() above ensures we never pass it on.
+        return message.author_id in self.services.subscriptions
+
+    def advertisement_marks(self) -> Dict[str, int]:
+        # Advertise only own content: nothing else is ever served.
+        own = self.services.store.highest_number(self.services.user_id)
+        return {self.services.user_id: own} if own else {}

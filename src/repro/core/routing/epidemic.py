@@ -1,0 +1,52 @@
+"""Epidemic routing [Vahdat & Becker 2000] — paper §III-B.
+
+"A simple routing scheme that achieves effectiveness through gratuitous
+replication and delivery of messages upon node encounters."  Every
+advertisement entry newer than what we hold triggers a connection; every
+missing number is requested; every received message is stored and
+re-advertised.  No interest filtering — maximal delivery, maximal
+overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.advertisement import interesting_entries
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+class EpidemicRouting(RoutingProtocol):
+    """Replicate everything to everyone on contact."""
+
+    name = "epidemic"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        fresh = interesting_entries(advert, self.services.store.advertisement_marks())
+        if not fresh:
+            return
+        if self.is_secured(peer_user):
+            # Already connected: the re-announcement means new content.
+            self.request_missing_from(peer_user, advert)
+        else:
+            self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self.request_missing_from(peer_user, self._last_advert.get(peer_user, {}))
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        # Gratuitous replication: always become a forwarder.
+        return True
+
+    def detach(self) -> None:
+        self._last_advert.clear()
+        super().detach()

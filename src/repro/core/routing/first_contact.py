@@ -1,0 +1,83 @@
+"""First-contact routing (baseline).
+
+Single-copy forwarding: a message copy hops to the first peer encountered
+and is *dropped* locally after a successful transfer, so exactly one copy
+roams the network (plus the author's archival copy).  Cheap on storage
+and bandwidth, fragile on delivery — the classic lower bound for
+replication-based schemes.
+
+Adapted to SOS's publish/subscribe model: interested subscribers always
+keep a copy (delivery), and the roaming copy continues from non-interested
+carriers only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.advertisement import interesting_entries
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+class FirstContactRouting(RoutingProtocol):
+    """One roaming copy per message."""
+
+    name = "first_contact"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+        #: Messages we already handed to someone (drop after serving).
+        self._handed_off: Set[Tuple[str, int]] = set()
+
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        fresh = interesting_entries(advert, self.services.store.advertisement_marks())
+        if not fresh:
+            return
+        if self.is_secured(peer_user):
+            self.request_missing_from(peer_user, advert)
+        else:
+            self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self.request_missing_from(peer_user, self._last_advert.get(peer_user, {}))
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        served = [
+            m
+            for m in self.services.store.messages_for(author_id, numbers)
+            if m.key not in self._handed_off
+        ]
+        for message in served:
+            if message.hops > 0 and message.author_id not in self._interests():
+                # The roaming copy moves on: stop offering it from here.
+                self._handed_off.add(message.key)
+        return served
+
+    def _interests(self) -> frozenset:
+        return frozenset(self.services.subscriptions) | {self.services.user_id}
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        return True  # hold the roaming copy until someone takes it
+
+    def advertisement_marks(self) -> Dict[str, int]:
+        marks = {}
+        for message in self.services.store.all_messages():
+            if message.key in self._handed_off and message.author_id not in self._interests():
+                continue
+            current = marks.get(message.author_id, 0)
+            if message.number > current:
+                marks[message.author_id] = message.number
+        return marks
+
+    def detach(self) -> None:
+        self._last_advert.clear()
+        self._handed_off.clear()
+        super().detach()

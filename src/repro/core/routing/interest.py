@@ -1,0 +1,67 @@
+"""Interest-based (IB) routing — paper §III-B.
+
+"The IB routing protocol operates in a similar manner to epidemic
+routing, except, instead of propagating messages to all users, messages
+are only propagated to interested users who are subscribed to the
+publisher of the original message."
+
+Concretely: a node requests an author's messages only when its user is
+*subscribed* to that author (or it is catching up on its own messages
+after a reinstall).  Since requests drive transfers, content only ever
+flows toward interested users; multi-hop dissemination happens through
+overlapping subscriptions — Bob relays Alice's posts to Carol because Bob
+follows Alice too (paper Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.advertisement import interesting_entries
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+class InterestBasedRouting(RoutingProtocol):
+    """Epidemic's request loop, gated by the subscription set."""
+
+    name = "interest"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+
+    def _interests(self) -> frozenset:
+        # Own messages are always "interesting": a reinstalled device
+        # recovers its history from the swarm.
+        return frozenset(self.services.subscriptions) | {self.services.user_id}
+
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        fresh = interesting_entries(
+            advert, self.services.store.advertisement_marks(), interests=self._interests()
+        )
+        if not fresh:
+            return
+        if self.is_secured(peer_user):
+            self.request_missing_from(peer_user, advert, interests=self._interests())
+        else:
+            self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self.request_missing_from(
+            peer_user, self._last_advert.get(peer_user, {}), interests=self._interests()
+        )
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        # Store (and hence re-advertise) only content we are interested
+        # in: this is what makes the node a forwarder *for its own
+        # interest group* rather than for everyone.
+        return message.author_id in self._interests()
+
+    def detach(self) -> None:
+        self._last_advert.clear()
+        super().detach()

@@ -1,0 +1,139 @@
+"""PRoPHET routing [Lindgren et al. 2003] (baseline).
+
+Probabilistic routing using the history of encounters: each node keeps a
+delivery-predictability value ``P(self, other)`` per known node, updated
+on every encounter, aged over time, and propagated transitively.  A
+carrier forwards a message to a peer whose predictability of reaching an
+interested subscriber exceeds its own.
+
+Adapted to publish/subscribe: the "destination set" of a message is the
+author's subscriber set as learned from disseminated follow actions; a
+node's utility for a message is its maximum predictability over that set.
+Nodes exchange predictability vectors in CONTROL packets on every secure
+connection.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Set
+
+from repro.core.advertisement import interesting_entries
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+class ProphetRouting(RoutingProtocol):
+    """PRoPHET with transitive predictability and pub/sub destinations."""
+
+    name = "prophet"
+
+    P_INIT = 0.75
+    BETA = 0.25   # transitivity weight
+    GAMMA = 0.999  # aging factor per second**(1/aging_unit)
+    AGING_UNIT = 3600.0  # seconds per aging step
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+        self._pred: Dict[str, float] = {}
+        self._last_age: float = 0.0
+        self._peer_pred: Dict[str, Dict[str, float]] = {}
+        #: author -> known subscriber set (fed by the application layer
+        #: through subscription gossip; defaults to "requesters are
+        #: interested" evidence).
+        self.subscriber_hints: Dict[str, Set[str]] = {}
+
+    # -- predictability bookkeeping ------------------------------------------------
+    def _age(self) -> None:
+        now = self.services.now()
+        if now <= self._last_age:
+            return
+        steps = (now - self._last_age) / self.AGING_UNIT
+        factor = self.GAMMA ** steps
+        for node in list(self._pred):
+            self._pred[node] *= factor
+            if self._pred[node] < 1e-6:
+                del self._pred[node]
+        self._last_age = now
+
+    def _on_encounter(self, peer_user: str) -> None:
+        self._age()
+        old = self._pred.get(peer_user, 0.0)
+        self._pred[peer_user] = old + (1.0 - old) * self.P_INIT
+
+    def _apply_transitivity(self, peer_user: str, peer_vector: Dict[str, float]) -> None:
+        p_ab = self._pred.get(peer_user, 0.0)
+        for node, p_bc in peer_vector.items():
+            if node == self.services.user_id:
+                continue
+            old = self._pred.get(node, 0.0)
+            self._pred[node] = max(old, old + (1.0 - old) * p_ab * p_bc * self.BETA)
+
+    def predictability(self, node: str) -> float:
+        self._age()
+        return self._pred.get(node, 0.0)
+
+    def _utility(self, vector: Dict[str, float], author_id: str) -> float:
+        subscribers = self.subscriber_hints.get(author_id, set())
+        if not subscribers:
+            return 0.0
+        return max(vector.get(s, 0.0) for s in subscribers)
+
+    # -- events ------------------------------------------------------------------------
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        fresh = interesting_entries(advert, self.services.store.advertisement_marks())
+        if not fresh:
+            return
+        if self.is_secured(peer_user):
+            self.request_missing_from(peer_user, advert)
+        else:
+            self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self._on_encounter(peer_user)
+        # Exchange predictability vectors first.
+        self._age()
+        payload = json.dumps({"pred": self._pred}).encode("utf-8")
+        self.services.send_control(peer_user, payload)
+        self.request_missing_from(peer_user, self._last_advert.get(peer_user, {}))
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+
+    def on_control(self, peer_user: str, payload: bytes) -> None:
+        try:
+            data = json.loads(payload.decode("utf-8"))
+            vector = {str(k): float(v) for k, v in data.get("pred", {}).items()}
+        except (ValueError, AttributeError):
+            return
+        self._peer_pred[peer_user] = vector
+        self._apply_transitivity(peer_user, vector)
+
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        # Forward when the requester is plausibly better-placed: either it
+        # is itself interested (requests are interest evidence), or its
+        # predictability toward the author's subscribers beats ours.
+        peer_vector = self._peer_pred.get(peer_user, {})
+        self._age()
+        served = []
+        for message in self.services.store.messages_for(author_id, numbers):
+            peer_utility = max(
+                self._utility(peer_vector, message.author_id),
+                self.P_INIT,  # the request itself is interest evidence
+            )
+            own_utility = self._utility(self._pred, message.author_id)
+            if peer_utility >= own_utility:
+                served.append(message)
+        return served
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        return True
+
+    def detach(self) -> None:
+        self._last_advert.clear()
+        self._peer_pred.clear()
+        super().detach()

@@ -1,0 +1,70 @@
+"""Protocol registry and runtime toggling.
+
+The demo lets users "toggle between DTN routing schemes inside the
+application" (paper §VII); the registry is the middleware mechanism behind
+that toggle.  Protocols register factories by name; the middleware asks
+the registry to instantiate the selected one and can swap at runtime
+(detaching the old protocol, attaching the new one to the same services).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.routing.base import RoutingProtocol
+
+ProtocolFactory = Callable[[], RoutingProtocol]
+
+
+class RoutingRegistry:
+    """Name -> factory registry of routing protocols."""
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, ProtocolFactory] = {}
+
+    def register(self, name: str, factory: ProtocolFactory) -> None:
+        if not name:
+            raise ValueError("protocol name must be non-empty")
+        if name in self._factories:
+            raise ValueError(f"protocol {name!r} already registered")
+        self._factories[name] = factory
+
+    def create(self, name: str) -> RoutingProtocol:
+        factory = self._factories.get(name)
+        if factory is None:
+            raise KeyError(
+                f"unknown routing protocol {name!r}; available: {self.names()}"
+            )
+        protocol = factory()
+        if protocol.name != name:
+            raise ValueError(
+                f"factory for {name!r} produced protocol named {protocol.name!r}"
+            )
+        return protocol
+
+    def names(self) -> List[str]:
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    @classmethod
+    def with_builtins(cls) -> "RoutingRegistry":
+        """A registry pre-loaded with every shipped protocol."""
+        from repro.core.routing.bubble import BubbleRapRouting
+        from repro.core.routing.direct import DirectDeliveryRouting
+        from repro.core.routing.epidemic import EpidemicRouting
+        from repro.core.routing.first_contact import FirstContactRouting
+        from repro.core.routing.interest import InterestBasedRouting
+        from repro.core.routing.prophet import ProphetRouting
+        from repro.core.routing.spray_wait import SprayAndWaitRouting
+
+        registry = cls()
+        registry.register(EpidemicRouting.name, EpidemicRouting)
+        registry.register(InterestBasedRouting.name, InterestBasedRouting)
+        registry.register(DirectDeliveryRouting.name, DirectDeliveryRouting)
+        registry.register(FirstContactRouting.name, FirstContactRouting)
+        registry.register(SprayAndWaitRouting.name, SprayAndWaitRouting)
+        registry.register(ProphetRouting.name, ProphetRouting)
+        registry.register(BubbleRapRouting.name, BubbleRapRouting)
+        return registry

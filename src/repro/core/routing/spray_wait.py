@@ -1,0 +1,123 @@
+"""Spray-and-wait routing [Spyropoulos et al. 2005] (baseline).
+
+Bounded replication: every message starts with a copy budget ``L``.  In
+the *spray* phase a carrier holding ``c > 1`` copy-tokens gives half of
+them to each new peer (binary spray).  A carrier down to one token enters
+the *wait* phase: it only hands the message to interested subscribers
+(delivery), never to further relays.
+
+Adapted to publish/subscribe: "destination" means *any user subscribed to
+the message's author*; deliveries to subscribers do not spend tokens.
+
+The token count travels in a CONTROL packet keyed by the message id, sent
+right before the DATA packet, so the receiving spray-and-wait instance
+knows its budget.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, List, Tuple
+
+from repro.core.advertisement import interesting_entries
+from repro.core.routing.base import RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+_TOKEN_FMT = ">4sI"  # message-key digest prefix + token count
+
+
+def _key_of(author_id: str, number: int) -> bytes:
+    import hashlib
+
+    return hashlib.sha256(f"{author_id}:{number}".encode()).digest()[:4]
+
+
+class SprayAndWaitRouting(RoutingProtocol):
+    """Binary spray-and-wait with subscriber-delivery exemption."""
+
+    name = "spray_wait"
+
+    def __init__(self, initial_copies: int = 8) -> None:
+        super().__init__()
+        if initial_copies < 1:
+            raise ValueError(f"initial_copies must be >= 1, got {initial_copies}")
+        self.initial_copies = initial_copies
+        self._last_advert: Dict[str, Dict[str, int]] = {}
+        self._tokens: Dict[Tuple[str, int], int] = {}
+        #: Token grants received via CONTROL, pending the matching DATA.
+        self._pending_grants: Dict[bytes, int] = {}
+        #: author -> known subscriber user-ids.  Deliveries to known
+        #: subscribers are token-free; without a hint, a requester is
+        #: treated as a relay and charged tokens.  Populating this needs
+        #: subscription gossip, which the application layer may provide.
+        self.subscriber_hints: Dict[str, set] = {}
+
+    # -- helpers -----------------------------------------------------------------
+    def _interests(self) -> frozenset:
+        return frozenset(self.services.subscriptions) | {self.services.user_id}
+
+    def tokens_for(self, author_id: str, number: int) -> int:
+        return self._tokens.get((author_id, number), 0)
+
+    def grant_initial_tokens(self, author_id: str, number: int) -> None:
+        """Called (via the message manager) when the local user authors a
+        message: the author holds the full budget."""
+        self._tokens[(author_id, number)] = self.initial_copies
+
+    # -- events --------------------------------------------------------------------
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self._last_advert[peer_user] = dict(advert)
+        fresh = interesting_entries(advert, self.services.store.advertisement_marks())
+        if not fresh:
+            return
+        if self.is_secured(peer_user):
+            self.request_missing_from(peer_user, advert)
+        else:
+            self.services.connect(peer_user)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self.request_missing_from(peer_user, self._last_advert.get(peer_user, {}))
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self._last_advert.pop(peer_user, None)
+
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        peer_is_subscriber = peer_user in self.subscriber_hints.get(author_id, ())
+        served = []
+        for message in self.services.store.messages_for(author_id, numbers):
+            key = message.key
+            tokens = self._tokens.get(key, 1)
+            if peer_is_subscriber:
+                # Delivery to a known subscriber: free, no token cost.
+                self._send_grant(peer_user, message, 1)
+                served.append(message)
+            elif tokens > 1:
+                give = tokens // 2
+                self._tokens[key] = tokens - give
+                self._send_grant(peer_user, message, give)
+                served.append(message)
+            # tokens == 1 and not a known subscriber: wait phase.
+        return served
+
+    def _send_grant(self, peer_user: str, message: StoredMessage, tokens: int) -> None:
+        payload = struct.pack(_TOKEN_FMT, _key_of(message.author_id, message.number), tokens)
+        self.services.send_control(peer_user, payload)
+
+    def on_control(self, peer_user: str, payload: bytes) -> None:
+        if len(payload) != struct.calcsize(_TOKEN_FMT):
+            return
+        digest, tokens = struct.unpack(_TOKEN_FMT, payload)
+        self._pending_grants[digest] = tokens
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        digest = _key_of(message.author_id, message.number)
+        tokens = self._pending_grants.pop(digest, 1)
+        self._tokens[message.key] = max(tokens, 1)
+        return True
+
+    def detach(self) -> None:
+        self._last_advert.clear()
+        self._pending_grants.clear()
+        super().detach()

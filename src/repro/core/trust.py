@@ -1,0 +1,166 @@
+"""Encounter-based trust (the §IV extension hook).
+
+"Additional security can be added to AlleyOop Social by ... integrating
+trust measurements within the routing schemes" — the paper cites PROTECT
+(Kumar, Thakur, Helmy 2010), which derives trust from the history of
+physical encounters: people you meet often, regularly and at length are
+more trustworthy relays than strangers.
+
+:class:`TrustManager` maintains exactly those features per peer —
+frequency, cumulative duration, recency — and combines them into a [0, 1]
+score.  :class:`TrustGatedRouting` wraps any routing protocol and refuses
+to *serve relayed content to* peers below a trust floor (their own
+authored requests still work: trust gates relaying, not communication).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.routing.base import RouterServices, RoutingProtocol
+from repro.storage.messagestore import StoredMessage
+
+
+@dataclass
+class EncounterRecord:
+    """Trust features for one peer."""
+
+    count: int = 0
+    total_duration: float = 0.0
+    last_seen: Optional[float] = None
+    _open_since: Optional[float] = None
+
+
+class TrustManager:
+    """Per-peer trust from encounter history.
+
+    Score = weighted blend of three saturating features:
+
+    * frequency  — ``1 - exp(-count / count_scale)``,
+    * duration   — ``1 - exp(-total_seconds / duration_scale)``,
+    * recency    — ``exp(-age / recency_scale)`` (decays when not seen).
+
+    Weights sum to 1; a never-met peer scores 0.
+    """
+
+    def __init__(
+        self,
+        count_scale: float = 5.0,
+        duration_scale: float = 4 * 3600.0,
+        recency_scale: float = 3 * 86400.0,
+        weights: tuple = (0.4, 0.35, 0.25),
+    ) -> None:
+        if not math.isclose(sum(weights), 1.0, rel_tol=1e-9):
+            raise ValueError(f"weights must sum to 1, got {weights}")
+        if min(count_scale, duration_scale, recency_scale) <= 0:
+            raise ValueError("scales must be positive")
+        self.count_scale = count_scale
+        self.duration_scale = duration_scale
+        self.recency_scale = recency_scale
+        self.weights = weights
+        self._records: Dict[str, EncounterRecord] = {}
+
+    # -- bookkeeping ------------------------------------------------------------
+    def encounter_started(self, peer: str, now: float) -> None:
+        record = self._records.setdefault(peer, EncounterRecord())
+        if record._open_since is None:
+            record._open_since = now
+            record.count += 1
+        record.last_seen = now
+
+    def encounter_ended(self, peer: str, now: float) -> None:
+        record = self._records.get(peer)
+        if record is None or record._open_since is None:
+            return
+        record.total_duration += max(0.0, now - record._open_since)
+        record._open_since = None
+        record.last_seen = now
+
+    def record_of(self, peer: str) -> Optional[EncounterRecord]:
+        return self._records.get(peer)
+
+    # -- scoring -------------------------------------------------------------------
+    def score(self, peer: str, now: float) -> float:
+        record = self._records.get(peer)
+        if record is None or record.last_seen is None:
+            return 0.0
+        duration = record.total_duration
+        if record._open_since is not None:
+            duration += max(0.0, now - record._open_since)
+        frequency = 1.0 - math.exp(-record.count / self.count_scale)
+        length = 1.0 - math.exp(-duration / self.duration_scale)
+        recency = math.exp(-max(0.0, now - record.last_seen) / self.recency_scale)
+        w_f, w_d, w_r = self.weights
+        return w_f * frequency + w_d * length + w_r * recency
+
+    def ranked(self, now: float) -> List[tuple]:
+        """(peer, score) pairs, most trusted first."""
+        return sorted(
+            ((peer, self.score(peer, now)) for peer in self._records),
+            key=lambda kv: -kv[1],
+        )
+
+
+class TrustGatedRouting(RoutingProtocol):
+    """Wraps any protocol; refuses to relay through low-trust peers.
+
+    Only *relayed* content is gated — a peer may always fetch messages the
+    local user authored (the author vouches for its own content), and all
+    receive-side behaviour is the inner protocol's.  This is the
+    "integrating trust measurements within the routing schemes" extension
+    the paper sketches in §IV.
+    """
+
+    def __init__(self, inner: RoutingProtocol, min_trust: float = 0.25,
+                 trust: Optional[TrustManager] = None) -> None:
+        super().__init__()
+        if not 0.0 <= min_trust <= 1.0:
+            raise ValueError(f"min_trust must be in [0, 1], got {min_trust}")
+        self.inner = inner
+        self.min_trust = min_trust
+        self.trust = trust or TrustManager()
+        self.name = f"trusted-{inner.name}"
+        self.refused = 0
+
+    def attach(self, services: RouterServices) -> None:
+        super().attach(services)
+        self.inner.attach(services)
+
+    def detach(self) -> None:
+        self.inner.detach()
+        super().detach()
+
+    # -- events: keep trust features fresh, then delegate ---------------------------
+    def on_peer_discovered(self, peer_user: str, advert: Dict[str, int]) -> None:
+        self.inner.on_peer_discovered(peer_user, advert)
+
+    def on_peer_secured(self, peer_user: str) -> None:
+        self.trust.encounter_started(peer_user, self.services.now())
+        self.inner.on_peer_secured(peer_user)
+
+    def on_peer_lost(self, peer_user: str) -> None:
+        self.trust.encounter_ended(peer_user, self.services.now())
+        self.inner.on_peer_lost(peer_user)
+
+    def on_message_received(self, message: StoredMessage, from_user: str) -> bool:
+        return self.inner.on_message_received(message, from_user)
+
+    def on_control(self, peer_user: str, payload: bytes) -> None:
+        self.inner.on_control(peer_user, payload)
+
+    # -- the gate ----------------------------------------------------------------------
+    def serve_request(
+        self, peer_user: str, author_id: str, numbers: List[int]
+    ) -> List[StoredMessage]:
+        served = self.inner.serve_request(peer_user, author_id, numbers)
+        if author_id == self.services.user_id:
+            return served  # own content is never gated
+        if self.trust.score(peer_user, self.services.now()) >= self.min_trust:
+            return served
+        self.refused += len(served)
+        return []
+
+    def advertisement_marks(self) -> Dict[str, int]:
+        return self.inner.advertisement_marks()

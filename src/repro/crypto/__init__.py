@@ -1,0 +1,56 @@
+"""Pure-Python cryptographic substrate for the SOS security layer.
+
+The paper's SOS middleware delegates key generation, certificate
+validation, signing/verification and end-to-end encryption to Apple's
+closed-source security frameworks (paper §III-D, §IV).  This package
+re-implements those roles from scratch so the reproduction has no
+dependency outside the standard library:
+
+* :mod:`repro.crypto.numbers` — big-integer number theory (Miller–Rabin
+  primality, safe modular inverse, deterministic prime generation),
+* :mod:`repro.crypto.rsa` — RSA key generation, PKCS#1 v1.5-style
+  signatures and OAEP-style encryption, plus a hybrid envelope scheme,
+* :mod:`repro.crypto.chacha` — the ChaCha20 stream cipher (RFC 7539 core)
+  used as the symmetric half of hybrid encryption,
+* :mod:`repro.crypto.kdf` — HKDF (RFC 5869) for session-key derivation,
+* :mod:`repro.crypto.drbg` — a deterministic HMAC-DRBG so experiments are
+  reproducible from a seed (real deployments should inject ``os.urandom``),
+* :mod:`repro.crypto.hashes` — digest helpers and constant-time compare.
+
+These are *reproduction-grade* implementations: algorithmically faithful
+and test-covered, but not hardened against side channels; see SECURITY
+notes in each module.
+"""
+
+from repro.crypto.drbg import HmacDrbg, SystemRandomSource
+from repro.crypto.hashes import constant_time_equal, sha256, sha256_hex
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.chacha import ChaCha20, chacha20_decrypt, chacha20_encrypt
+from repro.crypto.rsa import (
+    RsaKeyPair,
+    RsaPrivateKey,
+    RsaPublicKey,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+)
+
+__all__ = [
+    "HmacDrbg",
+    "SystemRandomSource",
+    "constant_time_equal",
+    "sha256",
+    "sha256_hex",
+    "hkdf",
+    "hkdf_extract",
+    "hkdf_expand",
+    "ChaCha20",
+    "chacha20_encrypt",
+    "chacha20_decrypt",
+    "RsaKeyPair",
+    "RsaPrivateKey",
+    "RsaPublicKey",
+    "generate_keypair",
+    "hybrid_encrypt",
+    "hybrid_decrypt",
+]

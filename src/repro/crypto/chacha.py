@@ -1,0 +1,104 @@
+"""ChaCha20 stream cipher (RFC 7539 core).
+
+Used as the symmetric half of the SOS hybrid envelope: RSA transports a
+random 256-bit key, ChaCha20 encrypts the payload, and HMAC-SHA256 (in
+:mod:`repro.crypto.rsa`) authenticates the ciphertext (encrypt-then-MAC).
+"""
+
+from __future__ import annotations
+
+import struct
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+_MASK32 = 0xFFFFFFFF
+
+
+def _rotl32(v: int, n: int) -> int:
+    return ((v << n) & _MASK32) | (v >> (32 - n))
+
+
+def _quarter_round(state: list, a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK32
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK32
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+class ChaCha20:
+    """The ChaCha20 block function and keystream generator.
+
+    Parameters
+    ----------
+    key:
+        32-byte secret key.
+    nonce:
+        12-byte nonce (RFC 7539 layout).  Never reuse a (key, nonce) pair.
+    counter:
+        Initial 32-bit block counter (0 by default).
+    """
+
+    KEY_SIZE = 32
+    NONCE_SIZE = 12
+    BLOCK_SIZE = 64
+
+    def __init__(self, key: bytes, nonce: bytes, counter: int = 0) -> None:
+        if len(key) != self.KEY_SIZE:
+            raise ValueError(f"key must be {self.KEY_SIZE} bytes, got {len(key)}")
+        if len(nonce) != self.NONCE_SIZE:
+            raise ValueError(f"nonce must be {self.NONCE_SIZE} bytes, got {len(nonce)}")
+        if not 0 <= counter <= _MASK32:
+            raise ValueError(f"counter out of range: {counter}")
+        self._key_words = struct.unpack("<8L", key)
+        self._nonce_words = struct.unpack("<3L", nonce)
+        self._counter = counter
+        self._leftover = b""  # unused tail of the last generated block
+
+    def _block(self, counter: int) -> bytes:
+        state = list(_CONSTANTS) + list(self._key_words) + [counter] + list(self._nonce_words)
+        working = state[:]
+        for _ in range(10):  # 20 rounds = 10 double-rounds
+            _quarter_round(working, 0, 4, 8, 12)
+            _quarter_round(working, 1, 5, 9, 13)
+            _quarter_round(working, 2, 6, 10, 14)
+            _quarter_round(working, 3, 7, 11, 15)
+            _quarter_round(working, 0, 5, 10, 15)
+            _quarter_round(working, 1, 6, 11, 12)
+            _quarter_round(working, 2, 7, 8, 13)
+            _quarter_round(working, 3, 4, 9, 14)
+        out = [(w + s) & _MASK32 for w, s in zip(working, state)]
+        return struct.pack("<16L", *out)
+
+    def keystream(self, length: int) -> bytes:
+        """Produce ``length`` keystream bytes, advancing the stream.
+
+        Partial blocks are buffered so successive calls form one
+        continuous keystream (crypt(a) + crypt(b) == crypt(a + b)).
+        """
+        out = bytearray(self._leftover[:length])
+        self._leftover = self._leftover[length:]
+        while len(out) < length:
+            block = self._block(self._counter)
+            self._counter = (self._counter + 1) & _MASK32
+            need = length - len(out)
+            out.extend(block[:need])
+            self._leftover = block[need:]
+        return bytes(out)
+
+    def crypt(self, data: bytes) -> bytes:
+        """XOR ``data`` with keystream (encryption == decryption)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, counter: int = 0) -> bytes:
+    """One-shot encryption helper."""
+    return ChaCha20(key, nonce, counter).crypt(plaintext)
+
+
+def chacha20_decrypt(key: bytes, nonce: bytes, ciphertext: bytes, counter: int = 0) -> bytes:
+    """One-shot decryption helper (same operation as encryption)."""
+    return ChaCha20(key, nonce, counter).crypt(ciphertext)

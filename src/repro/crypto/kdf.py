@@ -1,0 +1,40 @@
+"""HKDF (RFC 5869) key derivation.
+
+The MPC session layer derives per-session encryption and MAC keys from the
+RSA-transported master secret with distinct ``info`` labels, so a session
+never reuses one key for two purposes.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hashes import hmac_sha256
+
+_HASH_LEN = 32
+
+
+def hkdf_extract(salt: bytes, ikm: bytes) -> bytes:
+    """Extract step: concentrate input keying material into a PRK."""
+    if not salt:
+        salt = b"\x00" * _HASH_LEN
+    return hmac_sha256(salt, ikm)
+
+
+def hkdf_expand(prk: bytes, info: bytes, length: int) -> bytes:
+    """Expand step: stretch the PRK to ``length`` bytes bound to ``info``."""
+    if length <= 0:
+        raise ValueError(f"length must be positive, got {length}")
+    if length > 255 * _HASH_LEN:
+        raise ValueError(f"cannot expand to more than {255 * _HASH_LEN} bytes")
+    blocks = bytearray()
+    previous = b""
+    counter = 1
+    while len(blocks) < length:
+        previous = hmac_sha256(prk, previous + info + bytes([counter]))
+        blocks.extend(previous)
+        counter += 1
+    return bytes(blocks[:length])
+
+
+def hkdf(ikm: bytes, salt: bytes = b"", info: bytes = b"", length: int = 32) -> bytes:
+    """Full extract-then-expand HKDF."""
+    return hkdf_expand(hkdf_extract(salt, ikm), info, length)

@@ -1,0 +1,125 @@
+"""Big-integer number theory for RSA key generation.
+
+Implements deterministic Miller–Rabin (with the proven small-base sets for
+64-bit integers and random bases above), extended-gcd modular inverse, and
+prime generation from a :class:`~repro.crypto.drbg.RandomSource`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.crypto.drbg import RandomSource
+
+# Deterministic witness set: correct for all n < 3,317,044,064,679,887,385,961,981.
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES: List[int] = []
+
+
+def _sieve_small_primes(limit: int = 2048) -> List[int]:
+    """Primes below ``limit`` for cheap trial division (cached)."""
+    if _SMALL_PRIMES:
+        return _SMALL_PRIMES
+    sieve = bytearray([1]) * limit
+    sieve[0:2] = b"\x00\x00"
+    for i in range(2, int(limit ** 0.5) + 1):
+        if sieve[i]:
+            sieve[i * i :: i] = b"\x00" * len(sieve[i * i :: i])
+    _SMALL_PRIMES.extend(i for i in range(limit) if sieve[i])
+    return _SMALL_PRIMES
+
+
+def is_probable_prime(n: int, rounds: int = 20, rng: RandomSource = None) -> bool:
+    """Miller–Rabin primality test.
+
+    Deterministic (proven witness set) for n < 3.3e24; for larger n uses
+    ``rounds`` random witnesses giving error probability <= 4**-rounds.
+    """
+    if n < 2:
+        return False
+    for p in _sieve_small_primes():
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n-1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+
+    def witness_composite(a: int) -> bool:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            return False
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                return False
+        return True
+
+    if n < 3_317_044_064_679_887_385_961_981:
+        bases = [a for a in _DETERMINISTIC_WITNESSES if a < n - 1]
+    else:
+        if rng is None:
+            raise ValueError("random witnesses required for very large n; pass rng")
+        bases = [2 + rng.read_int_below(n - 3) for _ in range(rounds)]
+    return not any(witness_composite(a) for a in bases)
+
+
+def generate_prime(bits: int, rng: RandomSource) -> int:
+    """Generate a random prime with exactly ``bits`` bits.
+
+    Candidates are odd with the top bit forced so the product of two such
+    primes has exactly ``2 * bits`` bits — required for fixed-size key
+    serialisation.
+    """
+    if bits < 16:
+        raise ValueError(f"refusing to generate tiny primes ({bits} bits)")
+    while True:
+        candidate = rng.read_int(bits) | 1
+        # Quick trial division before the expensive Miller-Rabin rounds.
+        if any(candidate % p == 0 and candidate != p for p in _sieve_small_primes()):
+            continue
+        if is_probable_prime(candidate, rng=rng):
+            return candidate
+
+
+def egcd(a: int, b: int) -> tuple:
+    """Extended Euclid: returns ``(g, x, y)`` with ``a*x + b*y == g``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` mod ``m``; raises if not coprime."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m} (gcd={g})")
+    return x % m
+
+
+def int_to_bytes(n: int, length: int = None) -> bytes:
+    """Big-endian byte encoding; ``length`` pads/validates the width."""
+    if n < 0:
+        raise ValueError("negative integers are not encodable")
+    minimal = (n.bit_length() + 7) // 8 or 1
+    if length is None:
+        length = minimal
+    if minimal > length:
+        raise ValueError(f"{n.bit_length()}-bit integer does not fit {length} bytes")
+    return n.to_bytes(length, "big")
+
+
+def bytes_to_int(data: bytes) -> int:
+    """Big-endian byte decoding."""
+    return int.from_bytes(data, "big")

@@ -1,0 +1,311 @@
+"""RSA key generation, signatures, OAEP encryption and hybrid envelopes.
+
+This is the asymmetric workhorse of the SOS security layer (paper §IV):
+
+* each AlleyOop Social user generates an RSA key pair at sign-up,
+* the CA signs certificates with its RSA key (:mod:`repro.pki`),
+* messages are signed by their originator so forwarders cannot tamper,
+* payloads travel in a hybrid envelope — RSA-OAEP transports a fresh
+  ChaCha20 key, and HMAC-SHA256 authenticates the ciphertext
+  (encrypt-then-MAC).
+
+SECURITY: the default simulation key size (1024 bits) is chosen for
+simulation throughput, not for real-world security; pass ``bits=2048`` or
+more for anything outside a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.drbg import RandomSource, SystemRandomSource
+from repro.crypto.hashes import constant_time_equal, hmac_sha256, sha256
+from repro.crypto.kdf import hkdf
+from repro.crypto.chacha import ChaCha20
+from repro.crypto.numbers import bytes_to_int, generate_prime, int_to_bytes, modinv
+
+# DER prefix of the DigestInfo structure for SHA-256 (RFC 8017 §9.2 note 1).
+_SHA256_DIGEST_INFO = bytes.fromhex("3031300d060960864801650304020105000420")
+
+_DEFAULT_EXPONENT = 65537
+
+
+@dataclass(frozen=True)
+class RsaPublicKey:
+    """An RSA public key ``(n, e)``."""
+
+    n: int
+    e: int
+
+    @property
+    def bits(self) -> int:
+        return self.n.bit_length()
+
+    @property
+    def byte_size(self) -> int:
+        return (self.bits + 7) // 8
+
+    def to_bytes(self) -> bytes:
+        """Length-prefixed serialisation (used inside certificates)."""
+        n_bytes = int_to_bytes(self.n)
+        e_bytes = int_to_bytes(self.e)
+        return (
+            len(n_bytes).to_bytes(4, "big")
+            + n_bytes
+            + len(e_bytes).to_bytes(4, "big")
+            + e_bytes
+        )
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "RsaPublicKey":
+        n_len = int.from_bytes(data[:4], "big")
+        n = bytes_to_int(data[4 : 4 + n_len])
+        offset = 4 + n_len
+        e_len = int.from_bytes(data[offset : offset + 4], "big")
+        e = bytes_to_int(data[offset + 4 : offset + 4 + e_len])
+        if n <= 0 or e <= 0:
+            raise ValueError("malformed public key encoding")
+        return cls(n=n, e=e)
+
+    def fingerprint(self) -> str:
+        """Hex SHA-256 fingerprint of the encoded key."""
+        return sha256(self.to_bytes()).hex()
+
+    # -- raw primitive -----------------------------------------------------
+    def _encrypt_int(self, m: int) -> int:
+        if not 0 <= m < self.n:
+            raise ValueError("message representative out of range")
+        return pow(m, self.e, self.n)
+
+    # -- signatures ---------------------------------------------------------
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        """Verify a PKCS#1 v1.5-style SHA-256 signature.  Never raises on
+        malformed signatures; returns False."""
+        if len(signature) != self.byte_size:
+            return False
+        try:
+            s = bytes_to_int(signature)
+            em = int_to_bytes(pow(s, self.e, self.n), self.byte_size)
+        except (ValueError, OverflowError):
+            return False
+        expected = _pkcs1_v15_encode(message, self.byte_size)
+        return constant_time_equal(em, expected)
+
+    # -- encryption ----------------------------------------------------------
+    def encrypt(self, plaintext: bytes, rng: Optional[RandomSource] = None) -> bytes:
+        """RSA-OAEP (SHA-256/MGF1) encryption of a short plaintext."""
+        rng = rng or SystemRandomSource()
+        k = self.byte_size
+        max_len = k - 2 * 32 - 2
+        if len(plaintext) > max_len:
+            raise ValueError(f"plaintext too long for OAEP ({len(plaintext)} > {max_len})")
+        em = _oaep_encode(plaintext, k, rng)
+        return int_to_bytes(self._encrypt_int(bytes_to_int(em)), k)
+
+
+@dataclass(frozen=True)
+class RsaPrivateKey:
+    """An RSA private key with CRT acceleration parameters."""
+
+    n: int
+    e: int
+    d: int
+    p: int
+    q: int
+
+    @property
+    def byte_size(self) -> int:
+        return (self.n.bit_length() + 7) // 8
+
+    def public_key(self) -> RsaPublicKey:
+        return RsaPublicKey(n=self.n, e=self.e)
+
+    def _decrypt_int(self, c: int) -> int:
+        if not 0 <= c < self.n:
+            raise ValueError("ciphertext representative out of range")
+        # CRT: two half-size exponentiations instead of one full-size one.
+        dp = self.d % (self.p - 1)
+        dq = self.d % (self.q - 1)
+        qinv = modinv(self.q, self.p)
+        m1 = pow(c, dp, self.p)
+        m2 = pow(c, dq, self.q)
+        h = (qinv * (m1 - m2)) % self.p
+        return m2 + self.q * h
+
+    def sign(self, message: bytes) -> bytes:
+        """PKCS#1 v1.5-style SHA-256 signature of ``message``."""
+        em = _pkcs1_v15_encode(message, self.byte_size)
+        return int_to_bytes(self._decrypt_int(bytes_to_int(em)), self.byte_size)
+
+    def decrypt(self, ciphertext: bytes) -> bytes:
+        """RSA-OAEP decryption; raises ``ValueError`` on any malformation."""
+        k = self.byte_size
+        if len(ciphertext) != k:
+            raise ValueError(f"ciphertext must be {k} bytes, got {len(ciphertext)}")
+        em = int_to_bytes(self._decrypt_int(bytes_to_int(ciphertext)), k)
+        return _oaep_decode(em, k)
+
+
+@dataclass(frozen=True)
+class RsaKeyPair:
+    """A generated key pair."""
+
+    private: RsaPrivateKey
+
+    @property
+    def public(self) -> RsaPublicKey:
+        return self.private.public_key()
+
+
+def generate_keypair(
+    bits: int = 1024,
+    rng: Optional[RandomSource] = None,
+    exponent: int = _DEFAULT_EXPONENT,
+) -> RsaKeyPair:
+    """Generate an RSA key pair with an exactly-``bits`` modulus."""
+    if bits < 512:
+        raise ValueError(f"modulus must be at least 512 bits, got {bits}")
+    if bits % 2:
+        raise ValueError("modulus bit size must be even")
+    rng = rng or SystemRandomSource()
+    half = bits // 2
+    while True:
+        p = generate_prime(half, rng)
+        q = generate_prime(half, rng)
+        if p == q:
+            continue
+        n = p * q
+        if n.bit_length() != bits:
+            continue
+        phi = (p - 1) * (q - 1)
+        try:
+            d = modinv(exponent, phi)
+        except ValueError:
+            continue  # exponent not coprime with phi; rare, redraw primes
+        private = RsaPrivateKey(n=n, e=exponent, d=d, p=p, q=q)
+        return RsaKeyPair(private=private)
+
+
+# ---------------------------------------------------------------------------
+# Encoding internals
+# ---------------------------------------------------------------------------
+
+def _pkcs1_v15_encode(message: bytes, em_len: int) -> bytes:
+    """EMSA-PKCS1-v1_5 encoding of SHA-256(message)."""
+    t = _SHA256_DIGEST_INFO + sha256(message)
+    if em_len < len(t) + 11:
+        raise ValueError("key too small for PKCS#1 v1.5 SHA-256 signature")
+    padding = b"\xff" * (em_len - len(t) - 3)
+    return b"\x00\x01" + padding + b"\x00" + t
+
+
+def _mgf1(seed: bytes, length: int) -> bytes:
+    """MGF1 mask generation with SHA-256."""
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        out.extend(sha256(seed + counter.to_bytes(4, "big")))
+        counter += 1
+    return bytes(out[:length])
+
+
+def _xor(a: bytes, b: bytes) -> bytes:
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _oaep_encode(message: bytes, k: int, rng: RandomSource) -> bytes:
+    h_len = 32
+    l_hash = sha256(b"")
+    ps = b"\x00" * (k - len(message) - 2 * h_len - 2)
+    db = l_hash + ps + b"\x01" + message
+    seed = rng.read(h_len)
+    masked_db = _xor(db, _mgf1(seed, k - h_len - 1))
+    masked_seed = _xor(seed, _mgf1(masked_db, h_len))
+    return b"\x00" + masked_seed + masked_db
+
+
+def _oaep_decode(em: bytes, k: int) -> bytes:
+    h_len = 32
+    if len(em) != k or em[0] != 0:
+        raise ValueError("OAEP decryption error")
+    masked_seed = em[1 : 1 + h_len]
+    masked_db = em[1 + h_len :]
+    seed = _xor(masked_seed, _mgf1(masked_db, h_len))
+    db = _xor(masked_db, _mgf1(seed, k - h_len - 1))
+    if not constant_time_equal(db[:h_len], sha256(b"")):
+        raise ValueError("OAEP decryption error")
+    try:
+        sep = db.index(b"\x01", h_len)
+    except ValueError:
+        raise ValueError("OAEP decryption error") from None
+    if any(db[h_len:sep]):
+        raise ValueError("OAEP decryption error")
+    return db[sep + 1 :]
+
+
+# ---------------------------------------------------------------------------
+# Hybrid envelope (RSA-OAEP key transport + ChaCha20 + HMAC-SHA256)
+# ---------------------------------------------------------------------------
+
+_ENVELOPE_MAGIC = b"SOSE"  # SOS Envelope, version 1
+_NONCE_SIZE = 12
+_MAC_SIZE = 32
+
+
+def hybrid_encrypt(
+    recipient: RsaPublicKey,
+    plaintext: bytes,
+    rng: Optional[RandomSource] = None,
+    aad: bytes = b"",
+) -> bytes:
+    """Encrypt ``plaintext`` for ``recipient``.
+
+    Wire format::
+
+        "SOSE" | u16 keylen | RSA-OAEP(master) | nonce(12) | ct | mac(32)
+
+    ``aad`` binds additional authenticated data (e.g. sender identity) into
+    the MAC without encrypting it.
+    """
+    rng = rng or SystemRandomSource()
+    master = rng.read(32)
+    enc_key = hkdf(master, info=b"sos-enc", length=32)
+    mac_key = hkdf(master, info=b"sos-mac", length=32)
+    nonce = rng.read(_NONCE_SIZE)
+    ciphertext = ChaCha20(enc_key, nonce).crypt(plaintext)
+    wrapped = recipient.encrypt(master, rng=rng)
+    mac = hmac_sha256(mac_key, aad + nonce + ciphertext)
+    return (
+        _ENVELOPE_MAGIC
+        + len(wrapped).to_bytes(2, "big")
+        + wrapped
+        + nonce
+        + ciphertext
+        + mac
+    )
+
+
+def hybrid_decrypt(private: RsaPrivateKey, envelope: bytes, aad: bytes = b"") -> bytes:
+    """Open a hybrid envelope; raises ``ValueError`` on any tampering."""
+    if len(envelope) < len(_ENVELOPE_MAGIC) + 2 + _NONCE_SIZE + _MAC_SIZE:
+        raise ValueError("envelope too short")
+    if envelope[:4] != _ENVELOPE_MAGIC:
+        raise ValueError("bad envelope magic")
+    key_len = int.from_bytes(envelope[4:6], "big")
+    offset = 6
+    wrapped = envelope[offset : offset + key_len]
+    offset += key_len
+    nonce = envelope[offset : offset + _NONCE_SIZE]
+    offset += _NONCE_SIZE
+    body = envelope[offset:]
+    if len(body) < _MAC_SIZE:
+        raise ValueError("envelope truncated")
+    ciphertext, mac = body[:-_MAC_SIZE], body[-_MAC_SIZE:]
+    master = private.decrypt(wrapped)
+    enc_key = hkdf(master, info=b"sos-enc", length=32)
+    mac_key = hkdf(master, info=b"sos-mac", length=32)
+    expected = hmac_sha256(mac_key, aad + nonce + ciphertext)
+    if not constant_time_equal(mac, expected):
+        raise ValueError("envelope authentication failed")
+    return ChaCha20(enc_key, nonce).crypt(ciphertext)

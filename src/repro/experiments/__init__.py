@@ -1,0 +1,30 @@
+"""Deployment-in-a-box experiment harness.
+
+:class:`~repro.experiments.gainesville.GainesvilleStudy` reconstructs the
+paper's §VI field study end to end — cloud + CA, ten users signing up
+(the one-time infrastructure requirement), working-day mobility over an
+11 km x 8 km synthetic Gainesville, the Fig. 4a social graph, a 7-day
+posting schedule totalling 259 messages, IB routing — and produces every
+number Fig. 4 and the §VI text report.
+
+:mod:`~repro.experiments.comparison` re-runs the same deployment under
+each routing protocol for the ablation benches.
+"""
+
+from repro.experiments.scenario import ScenarioConfig
+from repro.experiments.gainesville import GainesvilleStudy, StudyResult
+from repro.experiments.comparison import ProtocolComparison, ProtocolOutcome
+from repro.experiments.density_sweep import DensityPoint, DensitySweep
+from repro.experiments.replication import MetricSummary, ReplicationStudy
+
+__all__ = [
+    "ScenarioConfig",
+    "GainesvilleStudy",
+    "StudyResult",
+    "ProtocolComparison",
+    "ProtocolOutcome",
+    "DensityPoint",
+    "DensitySweep",
+    "MetricSummary",
+    "ReplicationStudy",
+]

@@ -1,0 +1,96 @@
+"""Higher-density what-if studies (the paper's closing call).
+
+§VI-B: "The results at such a low density provide promising insight into
+delay tolerant social networks and suggest further investigations at
+higher densities are needed."  This module performs those investigations
+synthetically: it sweeps population size (at fixed area) or area (at fixed
+population) and reports how delivery ratio, delay and overhead respond.
+
+Node density is users per km²; the field study sat at 10 / 88 km² ≈ 0.11.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.experiments.gainesville import GainesvilleStudy
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class DensityPoint:
+    """One sweep sample."""
+
+    num_users: int
+    area_km2: float
+    density_per_km2: float
+    delivery_ratio: Optional[float]
+    median_delay_h: Optional[float]
+    disseminations: int
+    contacts: int
+
+    @classmethod
+    def from_study(cls, config: ScenarioConfig, result) -> "DensityPoint":
+        area_km2 = config.area[0] * config.area[1] / 1e6
+        cdf = result.delay.all_hops
+        return cls(
+            num_users=config.num_users,
+            area_km2=area_km2,
+            density_per_km2=config.num_users / area_km2,
+            delivery_ratio=result.delivery.overall_delivery_ratio(),
+            median_delay_h=(cdf.median() / 3600.0) if cdf.n else None,
+            disseminations=result.disseminations,
+            contacts=result.contact_count,
+        )
+
+
+class DensitySweep:
+    """Run the deployment at several densities, all else equal."""
+
+    def __init__(
+        self,
+        base_config: Optional[ScenarioConfig] = None,
+        populations: Sequence[int] = (10, 16, 24),
+        scale_meetups_with_population: bool = True,
+    ) -> None:
+        self.base_config = base_config or ScenarioConfig(duration_days=3, total_posts=110)
+        self.populations = tuple(populations)
+        self.scale_meetups_with_population = scale_meetups_with_population
+        self.points: List[DensityPoint] = []
+
+    def _config_for(self, num_users: int) -> ScenarioConfig:
+        config = replace(self.base_config, num_users=num_users)
+        if self.scale_meetups_with_population:
+            # Meetup opportunities scale with people, not with the map.
+            factor = num_users / self.base_config.num_users
+            config = replace(config, meetups_per_day=self.base_config.meetups_per_day * factor)
+        return config
+
+    def run(self) -> List[DensityPoint]:
+        self.points = []
+        for num_users in self.populations:
+            config = self._config_for(num_users)
+            result = GainesvilleStudy(config).run()
+            self.points.append(DensityPoint.from_study(config, result))
+        return self.points
+
+    def report(self) -> str:
+        rows: List[Tuple] = []
+        for point in self.points:
+            rows.append(
+                (
+                    point.num_users,
+                    f"{point.density_per_km2:.3f}",
+                    "-" if point.delivery_ratio is None else f"{point.delivery_ratio:.3f}",
+                    "-" if point.median_delay_h is None else f"{point.median_delay_h:.1f}",
+                    point.disseminations,
+                    point.contacts,
+                )
+            )
+        return format_table(
+            "Density sweep (the paper's 'higher densities' call, §VI-B)",
+            ("users", "users/km^2", "delivery", "median delay (h)", "transfers", "contacts"),
+            rows,
+        )

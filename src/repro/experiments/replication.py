@@ -1,0 +1,109 @@
+"""Multi-seed replication of the field study.
+
+A 10-node, 7-day deployment is one sample from a very noisy process; the
+paper itself could only run it once.  This module reruns the
+reconstruction across seeds and reports mean and standard deviation for
+every headline metric, quantifying how much of the paper-vs-measured gap
+is sampling noise versus model error (the analysis EXPERIMENTS.md cites).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.gainesville import GainesvilleStudy, PAPER_VALUES
+from repro.experiments.scenario import ScenarioConfig
+from repro.metrics.report import format_table
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean / stdev / extremes of one metric across replications."""
+
+    name: str
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    paper: Optional[float]
+
+    @property
+    def paper_within_one_sigma(self) -> Optional[bool]:
+        if self.paper is None:
+            return None
+        return abs(self.paper - self.mean) <= max(self.stdev, 1e-12)
+
+
+class ReplicationStudy:
+    """Run the deployment across several seeds and aggregate."""
+
+    METRICS = (
+        "disseminations",
+        "one_hop_fraction",
+        "all_within_24h",
+        "all_within_94h",
+        "subs_above_0.80_all",
+        "subs_above_0.70_all",
+    )
+
+    def __init__(
+        self,
+        base_config: Optional[ScenarioConfig] = None,
+        seeds: Sequence[int] = (2017, 2018, 2019, 2020, 2021),
+    ) -> None:
+        if len(seeds) < 2:
+            raise ValueError("replication needs at least two seeds")
+        self.base_config = base_config or ScenarioConfig()
+        self.seeds = tuple(seeds)
+        self.samples: Dict[str, List[float]] = {name: [] for name in self.METRICS}
+
+    def run(self) -> List[MetricSummary]:
+        for seed in self.seeds:
+            result = GainesvilleStudy(replace(self.base_config, seed=seed)).run()
+            summary = result.summary()
+            for name in self.METRICS:
+                value = summary.get(name)
+                if value is not None:
+                    self.samples[name].append(float(value))
+        return self.summaries()
+
+    def summaries(self) -> List[MetricSummary]:
+        out = []
+        for name in self.METRICS:
+            values = self.samples[name]
+            if not values:
+                continue
+            mean = sum(values) / len(values)
+            variance = sum((v - mean) ** 2 for v in values) / max(1, len(values) - 1)
+            out.append(
+                MetricSummary(
+                    name=name,
+                    mean=mean,
+                    stdev=math.sqrt(variance),
+                    minimum=min(values),
+                    maximum=max(values),
+                    paper=PAPER_VALUES.get(name),
+                )
+            )
+        return out
+
+    def report(self) -> str:
+        rows = []
+        for summary in self.summaries():
+            rows.append(
+                (
+                    summary.name,
+                    "-" if summary.paper is None else f"{summary.paper:.3f}",
+                    f"{summary.mean:.3f}",
+                    f"{summary.stdev:.3f}",
+                    f"[{summary.minimum:.3f}, {summary.maximum:.3f}]",
+                    {True: "yes", False: "no", None: "-"}[summary.paper_within_one_sigma],
+                )
+            )
+        return format_table(
+            f"Replication across {len(self.seeds)} seeds",
+            ("metric", "paper", "mean", "stdev", "range", "paper within 1 sigma"),
+            rows,
+        )

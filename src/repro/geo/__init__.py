@@ -1,0 +1,22 @@
+"""Planar geometry for the simulated city.
+
+The field study area is ~11 km x 8 km of Gainesville, FL (paper Fig. 4b).
+We model it as a flat metric plane in metres — at that scale Earth
+curvature contributes centimetres of error, far below radio-range
+granularity.
+"""
+
+from repro.geo.point import Point, distance, midpoint
+from repro.geo.region import Region
+from repro.geo.spatial_index import SpatialHashIndex
+from repro.geo.places import Place, PlaceKind
+
+__all__ = [
+    "Point",
+    "distance",
+    "midpoint",
+    "Region",
+    "SpatialHashIndex",
+    "Place",
+    "PlaceKind",
+]

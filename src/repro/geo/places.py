@@ -1,0 +1,48 @@
+"""Named places in the synthetic city.
+
+The working-day mobility model moves each user between *places*: a home, a
+work/campus location, and shared social venues (the paper's participants
+were students who "typically interacted during the school week").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.geo.point import Point
+
+
+class PlaceKind(Enum):
+    HOME = "home"
+    WORK = "work"
+    SOCIAL = "social"
+    TRANSIT = "transit"
+
+
+@dataclass(frozen=True)
+class Place:
+    """A named location with an occupancy radius.
+
+    ``radius`` models the footprint of the venue: two users "at" the same
+    place wander independently within it, so their radios are sometimes in
+    and sometimes out of Bluetooth range — matching the intermittent
+    contact behaviour a building produces in the real deployment.
+    """
+
+    name: str
+    kind: PlaceKind
+    location: Point
+    radius: float = 50.0
+
+    def jittered_position(self, rng) -> Point:
+        """A uniform random position within the venue footprint."""
+        import math
+
+        angle = rng.uniform(0.0, 2.0 * math.pi)
+        # sqrt for uniform density over the disc, not clustered at center
+        r = self.radius * math.sqrt(rng.random())
+        return Point(
+            self.location.x + r * math.cos(angle),
+            self.location.y + r * math.sin(angle),
+        )

@@ -1,0 +1,81 @@
+"""Uniform-grid spatial hashing for neighbour queries.
+
+The radio medium asks "who is within R metres of me?" on every beacon; a
+naive all-pairs scan is O(n^2) per tick.  A uniform grid with cell size ~R
+answers it by inspecting at most 9 cells.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, List, Set, Tuple
+
+from repro.geo.point import Point
+
+
+class SpatialHashIndex:
+    """Maps hashable items to positions and serves radius queries."""
+
+    def __init__(self, cell_size: float = 100.0) -> None:
+        if cell_size <= 0:
+            raise ValueError(f"cell_size must be positive, got {cell_size}")
+        self.cell_size = float(cell_size)
+        self._cells: Dict[Tuple[int, int], Set[Hashable]] = defaultdict(set)
+        self._positions: Dict[Hashable, Point] = {}
+
+    def _cell_of(self, p: Point) -> Tuple[int, int]:
+        return (int(math.floor(p.x / self.cell_size)), int(math.floor(p.y / self.cell_size)))
+
+    def update(self, item: Hashable, position: Point) -> None:
+        """Insert or move ``item``."""
+        old = self._positions.get(item)
+        if old is not None:
+            old_cell = self._cell_of(old)
+            new_cell = self._cell_of(position)
+            if old_cell != new_cell:
+                self._cells[old_cell].discard(item)
+                self._cells[new_cell].add(item)
+        else:
+            self._cells[self._cell_of(position)].add(item)
+        self._positions[item] = position
+
+    def remove(self, item: Hashable) -> None:
+        pos = self._positions.pop(item, None)
+        if pos is not None:
+            self._cells[self._cell_of(pos)].discard(item)
+
+    def position_of(self, item: Hashable) -> Point:
+        return self._positions[item]
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._positions
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def items(self) -> Iterable:
+        return self._positions.items()
+
+    def within(self, center: Point, radius: float, exclude: Hashable = None) -> List[Hashable]:
+        """All items with ``distance <= radius`` of ``center``."""
+        if radius < 0:
+            return []
+        reach = int(math.ceil(radius / self.cell_size))
+        cx, cy = self._cell_of(center)
+        out = []
+        r2 = radius * radius
+        for gx in range(cx - reach, cx + reach + 1):
+            for gy in range(cy - reach, cy + reach + 1):
+                cell = self._cells.get((gx, gy))
+                if not cell:
+                    continue
+                for item in cell:
+                    if item == exclude:
+                        continue
+                    p = self._positions[item]
+                    dx = p.x - center.x
+                    dy = p.y - center.y
+                    if dx * dx + dy * dy <= r2:
+                        out.append(item)
+        return out

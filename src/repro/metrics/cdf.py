@@ -1,0 +1,80 @@
+"""Empirical cumulative distribution functions.
+
+Fig. 4c (delay) and Fig. 4d (delivery ratio) are ECDF plots; this class
+reproduces the curves and the point reads the paper quotes (e.g. "0.43 of
+the messages delivered had a delay of 24 hours or less" is
+``cdf.at(24 * 3600)``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, List, Sequence, Tuple
+
+
+class EmpiricalCdf:
+    """ECDF over a sample of real numbers."""
+
+    def __init__(self, samples: Iterable[float]) -> None:
+        self._sorted: List[float] = sorted(float(s) for s in samples)
+
+    @property
+    def n(self) -> int:
+        return len(self._sorted)
+
+    @property
+    def samples(self) -> Sequence[float]:
+        return tuple(self._sorted)
+
+    def at(self, x: float) -> float:
+        """F(x) = fraction of samples <= x.  0.0 for an empty sample."""
+        if not self._sorted:
+            return 0.0
+        return bisect_right(self._sorted, x) / len(self._sorted)
+
+    def fraction_greater(self, x: float) -> float:
+        """1 - F(x): fraction of samples strictly greater than x."""
+        if not self._sorted:
+            return 0.0
+        return (len(self._sorted) - bisect_right(self._sorted, x)) / len(self._sorted)
+
+    def fraction_at_least(self, x: float) -> float:
+        """Fraction of samples >= x."""
+        if not self._sorted:
+            return 0.0
+        return (len(self._sorted) - bisect_left(self._sorted, x)) / len(self._sorted)
+
+    def quantile(self, q: float) -> float:
+        """Smallest x with F(x) >= q.  Raises on empty samples."""
+        if not self._sorted:
+            raise ValueError("quantile of empty CDF")
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if q == 0.0:
+            return self._sorted[0]
+        import math
+
+        index = max(0, min(len(self._sorted) - 1, math.ceil(q * len(self._sorted)) - 1))
+        return self._sorted[index]
+
+    def curve(self) -> List[Tuple[float, float]]:
+        """(x, F(x)) step points suitable for plotting or table output."""
+        points = []
+        n = len(self._sorted)
+        for i, x in enumerate(self._sorted):
+            if i + 1 < n and self._sorted[i + 1] == x:
+                continue  # collapse ties to the last occurrence
+            points.append((x, (i + 1) / n))
+        return points
+
+    def series(self, xs: Iterable[float]) -> List[Tuple[float, float]]:
+        """Evaluate F at the given grid (the benches print fixed grids)."""
+        return [(float(x), self.at(x)) for x in xs]
+
+    def mean(self) -> float:
+        if not self._sorted:
+            raise ValueError("mean of empty CDF")
+        return sum(self._sorted) / len(self._sorted)
+
+    def median(self) -> float:
+        return self.quantile(0.5)

@@ -1,0 +1,75 @@
+"""Contact-pattern analysis.
+
+DTN performance is a function of the contact process, so the literature
+characterises deployments by contact count, contact-duration distribution
+and inter-contact-time distribution (whose heavy tail is the defining
+difficulty of real human traces).  This module derives those from a
+:class:`~repro.net.contact.ContactTracker` or from trace events, giving
+the reproduction the same characterisation the ONE-simulator reports
+produce.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.cdf import EmpiricalCdf
+from repro.net.contact import ContactTracker
+
+
+@dataclass
+class ContactAnalysis:
+    """Summary of a run's contact process."""
+
+    total_contacts: int
+    duration_cdf: EmpiricalCdf
+    inter_contact_cdf: EmpiricalCdf
+    contacts_per_pair: Dict[Tuple[str, str], int]
+
+    @classmethod
+    def from_tracker(cls, tracker: ContactTracker) -> "ContactAnalysis":
+        return cls(
+            total_contacts=tracker.total_contacts(),
+            duration_cdf=EmpiricalCdf(tracker.contact_durations()),
+            inter_contact_cdf=EmpiricalCdf(tracker.inter_contact_times()),
+            contacts_per_pair=tracker.contacts_per_pair(),
+        )
+
+    # -- headline quantities -----------------------------------------------------
+    def mean_contact_duration(self) -> Optional[float]:
+        if self.duration_cdf.n == 0:
+            return None
+        return self.duration_cdf.mean()
+
+    def median_inter_contact_hours(self) -> Optional[float]:
+        if self.inter_contact_cdf.n == 0:
+            return None
+        return self.inter_contact_cdf.median() / 3600.0
+
+    def pairs_with_repeat_contacts(self) -> int:
+        """Pairs that met more than once — the substrate of recurring
+        social contact the working-day model must produce."""
+        return sum(1 for count in self.contacts_per_pair.values() if count > 1)
+
+    def degree_distribution(self) -> Dict[str, int]:
+        """Distinct contact partners per node."""
+        partners: Dict[str, set] = {}
+        for (a, b) in self.contacts_per_pair:
+            partners.setdefault(a, set()).add(b)
+            partners.setdefault(b, set()).add(a)
+        return {node: len(peers) for node, peers in sorted(partners.items())}
+
+    def summary_rows(self) -> List[Tuple[str, str]]:
+        """(label, value) rows for report tables."""
+        mean_duration = self.mean_contact_duration()
+        median_ict = self.median_inter_contact_hours()
+        return [
+            ("contacts", str(self.total_contacts)),
+            ("distinct pairs", str(len(self.contacts_per_pair))),
+            ("pairs meeting repeatedly", str(self.pairs_with_repeat_contacts())),
+            ("mean contact duration",
+             "-" if mean_duration is None else f"{mean_duration / 60.0:.1f} min"),
+            ("median inter-contact time",
+             "-" if median_ict is None else f"{median_ict:.1f} h"),
+        ]

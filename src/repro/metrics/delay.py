@@ -1,0 +1,56 @@
+"""Delay analysis — Fig. 4c.
+
+"Figure 4c provides the delay results for messages disseminated via
+'1-hop' and 'All' hops."  Delay is measured from message creation to the
+first time an *interested* user (a subscriber of the author) receives it;
+the "1-hop" series restricts to copies received directly from the
+author's device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.collector import TraceCollector
+
+HOURS = 3600.0
+
+
+@dataclass
+class DelayAnalysis:
+    """Delay CDFs over interested first-deliveries."""
+
+    all_hops: EmpiricalCdf
+    one_hop: EmpiricalCdf
+
+    @classmethod
+    def from_collector(cls, collector: TraceCollector) -> "DelayAnalysis":
+        firsts = collector.first_deliveries().values()
+        all_delays = [d.delay for d in firsts]
+        one_hop_delays = [d.delay for d in firsts if d.hops == 1]
+        return cls(all_hops=EmpiricalCdf(all_delays), one_hop=EmpiricalCdf(one_hop_delays))
+
+    # -- the paper's point reads ----------------------------------------------------
+    def fraction_within_hours(self, hours: float, one_hop: bool = False) -> float:
+        cdf = self.one_hop if one_hop else self.all_hops
+        return cdf.at(hours * HOURS)
+
+    def paper_points(self) -> Dict[str, float]:
+        """The four numbers §VI-B quotes from Fig. 4c."""
+        return {
+            "all_within_24h": self.fraction_within_hours(24),
+            "all_within_94h": self.fraction_within_hours(94),
+            "one_hop_within_24h": self.fraction_within_hours(24, one_hop=True),
+            "one_hop_within_94h": self.fraction_within_hours(94, one_hop=True),
+        }
+
+    def curve_hours(self, grid_hours: List[float] = None) -> List[tuple]:
+        """(hours, F_all, F_1hop) rows for the bench output."""
+        if grid_hours is None:
+            grid_hours = [1, 2, 4, 8, 12, 24, 36, 48, 60, 72, 94, 120, 144, 168]
+        return [
+            (h, self.all_hops.at(h * HOURS), self.one_hop.at(h * HOURS))
+            for h in grid_hours
+        ]

@@ -1,0 +1,129 @@
+"""Delivery-ratio analysis — Fig. 4d.
+
+For every subscription (follower -> followee) the ratio of the followee's
+messages that actually reached the follower.  The paper reads this CDF at
+several points: "0.30 of the subscriptions had a delivery ratio greater
+than 0.80 for 'All' messages.  0.50 of the subscriptions had a delivery
+ratio greater than 0.70 ... 0.25 of the subscriptions had a delivery
+ratio of 0.80 for '1-hop' messages."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.metrics.cdf import EmpiricalCdf
+from repro.metrics.collector import TraceCollector
+
+
+@dataclass(frozen=True)
+class SubscriptionRatio:
+    """Delivery outcome of one subscription."""
+
+    follower: str
+    followee: str
+    messages_posted: int
+    delivered_all: int
+    delivered_one_hop: int
+
+    @property
+    def ratio_all(self) -> Optional[float]:
+        if self.messages_posted == 0:
+            return None
+        return self.delivered_all / self.messages_posted
+
+    @property
+    def ratio_one_hop(self) -> Optional[float]:
+        if self.messages_posted == 0:
+            return None
+        return self.delivered_one_hop / self.messages_posted
+
+
+@dataclass
+class DeliveryAnalysis:
+    """Per-subscription ratios + the Fig. 4d CDFs."""
+
+    ratios: List[SubscriptionRatio]
+
+    @classmethod
+    def from_collector(
+        cls,
+        collector: TraceCollector,
+        subscriptions: Iterable[Tuple[str, str]],
+        window_end: Optional[float] = None,
+    ) -> "DeliveryAnalysis":
+        """Compute ratios for the given (follower, followee) pairs.
+
+        ``subscriptions`` is the evaluated set (the field study's 46).
+        Only messages created while the subscription was active (and
+        before ``window_end``) count toward the denominator.
+        """
+        firsts = collector.first_deliveries()
+        windows = {
+            (w.follower, w.followee): w for w in collector.subscription_windows
+        }
+        by_author = collector.messages_by_author()
+        ratios = []
+        for follower, followee in subscriptions:
+            window = windows.get((follower, followee))
+            posted = 0
+            delivered_all = 0
+            delivered_one_hop = 0
+            for record in by_author.get(followee, []):
+                if window is not None and not window.active_at(record.created_at):
+                    continue
+                if window_end is not None and record.created_at > window_end:
+                    continue
+                posted += 1
+                delivery = firsts.get((follower, followee, record.number))
+                if delivery is not None:
+                    delivered_all += 1
+                    if delivery.hops == 1:
+                        delivered_one_hop += 1
+            ratios.append(
+                SubscriptionRatio(
+                    follower=follower,
+                    followee=followee,
+                    messages_posted=posted,
+                    delivered_all=delivered_all,
+                    delivered_one_hop=delivered_one_hop,
+                )
+            )
+        return cls(ratios=ratios)
+
+    # -- CDFs -------------------------------------------------------------------------
+    def _measurable(self) -> List[SubscriptionRatio]:
+        return [r for r in self.ratios if r.messages_posted > 0]
+
+    def cdf_all(self) -> EmpiricalCdf:
+        return EmpiricalCdf(r.ratio_all for r in self._measurable())
+
+    def cdf_one_hop(self) -> EmpiricalCdf:
+        return EmpiricalCdf(r.ratio_one_hop for r in self._measurable())
+
+    def fraction_of_subscriptions_above(self, ratio: float, one_hop: bool = False) -> float:
+        """Fraction of measurable subscriptions with delivery ratio > x."""
+        cdf = self.cdf_one_hop() if one_hop else self.cdf_all()
+        return cdf.fraction_greater(ratio)
+
+    def fraction_of_subscriptions_at_least(self, ratio: float, one_hop: bool = False) -> float:
+        cdf = self.cdf_one_hop() if one_hop else self.cdf_all()
+        return cdf.fraction_at_least(ratio)
+
+    def paper_points(self) -> Dict[str, float]:
+        """The Fig. 4d point reads §VI-B quotes."""
+        return {
+            "subs_above_0.80_all": self.fraction_of_subscriptions_above(0.80),
+            "subs_above_0.70_all": self.fraction_of_subscriptions_above(0.70),
+            "subs_at_least_0.80_one_hop": self.fraction_of_subscriptions_at_least(
+                0.80, one_hop=True
+            ),
+        }
+
+    def overall_delivery_ratio(self) -> Optional[float]:
+        posted = sum(r.messages_posted for r in self.ratios)
+        delivered = sum(r.delivered_all for r in self.ratios)
+        if posted == 0:
+            return None
+        return delivered / posted

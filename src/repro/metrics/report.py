@@ -1,0 +1,51 @@
+"""Plain-text report tables.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module renders them.  Every table carries the paper's published value
+next to the measured one so divergence is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_table(
+    title: str,
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> str:
+    """Fixed-width table rendering."""
+    materialised: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in header]
+    for row in materialised:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = [title, "=" * len(title)]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append(sep)
+    for row in materialised:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def comparison_row(
+    metric: str, paper: Optional[float], measured: Optional[float]
+) -> Tuple[str, str, str, str]:
+    """A (metric, paper, measured, delta) row."""
+    paper_s = f"{paper:.3f}" if paper is not None else "-"
+    measured_s = f"{measured:.3f}" if measured is not None else "-"
+    if paper is not None and measured is not None and paper != 0:
+        delta = f"{(measured - paper) / abs(paper) * 100:+.1f}%"
+    elif paper is not None and measured is not None:
+        delta = f"{measured - paper:+.3f}"
+    else:
+        delta = "-"
+    return (metric, paper_s, measured_s, delta)

@@ -1,0 +1,37 @@
+"""Mobility model interface.
+
+Models are *pull-driven*: the radio medium ticks at a fixed cadence and
+asks each model for its position at the current simulation time via
+:meth:`MobilityModel.position_at`.  Calls must be made with non-decreasing
+times; models may keep internal waypoint state between calls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.geo.point import Point
+
+
+class MobilityModel(ABC):
+    """Produces a node's position as a function of simulation time."""
+
+    @abstractmethod
+    def position_at(self, now: float) -> Point:
+        """Position at time ``now`` (seconds).  ``now`` must not decrease
+        across calls."""
+
+    def warm_up(self, now: float) -> None:
+        """Optional hook: advance internal state to ``now`` before the
+        measurement window opens."""
+        self.position_at(now)
+
+
+class StationaryModel(MobilityModel):
+    """A node that never moves (infrastructure WiFi hotspots, kiosks)."""
+
+    def __init__(self, position: Point) -> None:
+        self._position = position
+
+    def position_at(self, now: float) -> Point:
+        return self._position

@@ -1,0 +1,43 @@
+"""Simulated Multipeer Connectivity (MPC).
+
+Apple's MPC framework is closed source; the paper's ad hoc manager uses
+only its public surface (paper §III-D): peer identities, a service
+advertiser that broadcasts a small plain-text discovery dictionary, a
+service browser that reports found/lost peers, and sessions that move
+bytes over whichever transport (Bluetooth PAN / peer-to-peer WiFi /
+infrastructure WiFi) links the two devices.  This package implements that
+surface on top of :class:`repro.net.Medium` contacts:
+
+* :class:`~repro.mpc.peer.PeerID` — a device-bound peer identity,
+* :class:`~repro.mpc.advertiser.ServiceAdvertiser` — advertise + accept or
+  decline invitations,
+* :class:`~repro.mpc.browser.ServiceBrowser` — discovery callbacks,
+* :class:`~repro.mpc.session.Session` — connected peers + reliable data
+  transfer with bandwidth-accurate timing and mid-transfer link failure,
+* :class:`~repro.mpc.framework.MpcFramework` — the hub wiring the above to
+  the radio medium.
+
+SOS is, per the paper, "the first middleware to leverage MPC to evaluate
+multiple delay tolerant routing schemes" — so fidelity of this surface
+(not of Apple's internals) is what the reproduction needs.
+"""
+
+from repro.mpc.errors import MpcError, NotConnectedError, SendError
+from repro.mpc.peer import PeerID
+from repro.mpc.session import Session, SessionState
+from repro.mpc.advertiser import Invitation, ServiceAdvertiser
+from repro.mpc.browser import ServiceBrowser
+from repro.mpc.framework import MpcFramework
+
+__all__ = [
+    "MpcError",
+    "NotConnectedError",
+    "SendError",
+    "PeerID",
+    "Session",
+    "SessionState",
+    "Invitation",
+    "ServiceAdvertiser",
+    "ServiceBrowser",
+    "MpcFramework",
+]

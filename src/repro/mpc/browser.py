@@ -1,0 +1,68 @@
+"""Service browsing (MCNearbyServiceBrowser analogue)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, TYPE_CHECKING
+
+from repro.mpc.peer import PeerID
+from repro.mpc.session import Session
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.framework import MpcFramework
+
+
+class BrowserDelegate:
+    """Callback interface for peer discovery."""
+
+    def browser_found_peer(
+        self, browser: "ServiceBrowser", peer: PeerID, info: Dict[str, str]
+    ) -> None:
+        """A peer advertising our service type came into radio range (or
+        refreshed its discovery dictionary)."""
+
+    def browser_lost_peer(self, browser: "ServiceBrowser", peer: PeerID) -> None:
+        """The peer left radio range or stopped advertising."""
+
+
+class ServiceBrowser:
+    """Discovers advertisers of a service type within radio range."""
+
+    def __init__(
+        self,
+        framework: "MpcFramework",
+        peer: PeerID,
+        service_type: str,
+        delegate: Optional[BrowserDelegate] = None,
+    ) -> None:
+        if not service_type:
+            raise ValueError("service_type must be non-empty")
+        self.framework = framework
+        self.peer = peer
+        self.service_type = service_type
+        self.delegate = delegate or BrowserDelegate()
+        self.active = False
+        framework.register_browser(self)
+
+    def start(self) -> None:
+        if not self.active:
+            self.active = True
+            self.framework.browser_started(self)
+
+    def stop(self) -> None:
+        if self.active:
+            self.active = False
+
+    def invite_peer(
+        self,
+        peer: PeerID,
+        session: Session,
+        context: bytes = b"",
+    ) -> None:
+        """Invite a discovered peer into ``session``.
+
+        The invitation is delivered to the remote advertiser's delegate;
+        on acceptance both sessions connect after the radio's session
+        setup latency.  If the link drops first the invitation silently
+        dies (matching MPC's timeout behaviour).
+        """
+        self.framework.invite(self, peer, session, context)

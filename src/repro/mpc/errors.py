@@ -1,0 +1,15 @@
+"""MPC error hierarchy."""
+
+from __future__ import annotations
+
+
+class MpcError(RuntimeError):
+    """Base class for Multipeer Connectivity simulation errors."""
+
+
+class NotConnectedError(MpcError):
+    """Raised when sending to a peer that is not in the connected state."""
+
+
+class SendError(MpcError):
+    """Raised when a queued transfer cannot be initiated."""

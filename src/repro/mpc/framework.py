@@ -1,0 +1,297 @@
+"""The MPC hub: wires advertisers, browsers and sessions to the medium.
+
+Responsibilities:
+
+* peer registry per device (a device may host several apps, each with its
+  own service type — the paper's per-app middleware instance design),
+* discovery: when a radio link comes up, every active browser learns about
+  every active matching advertiser on the other device (and again when an
+  advertiser refreshes its discovery dictionary),
+* invitations: delivered after a small control-channel latency, accepted
+  invitations connect both sessions after the radio's setup latency,
+* transfers: bandwidth-accurate, serialised per device pair, failed (with
+  session disconnect) if the link drops mid-flight,
+* teardown: when a link drops, sessions between the two devices
+  disconnect and browsers receive ``lost_peer``.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.mpc.advertiser import Invitation, ServiceAdvertiser
+from repro.mpc.browser import ServiceBrowser
+from repro.mpc.errors import SendError
+from repro.mpc.peer import PeerID
+from repro.mpc.session import Session, SessionState
+from repro.net.bandwidth import transfer_duration
+from repro.net.contact import pair_key
+from repro.net.device import Device
+from repro.net.medium import Medium
+from repro.net.radio import RadioProfile
+from repro.sim.engine import Event, Simulator
+
+#: One-way latency for small control messages (invitations, announces).
+CONTROL_LATENCY_S = 0.2
+
+
+class _Transfer:
+    """An in-flight reliable payload."""
+
+    __slots__ = ("sender", "from_peer", "to_peer", "data", "on_complete", "event", "pair")
+
+    def __init__(self, sender, from_peer, to_peer, data, on_complete, pair):
+        self.sender = sender
+        self.from_peer = from_peer
+        self.to_peer = to_peer
+        self.data = data
+        self.on_complete = on_complete
+        self.event: Optional[Event] = None
+        self.pair = pair
+
+
+class MpcFramework:
+    """Simulated Multipeer Connectivity runtime."""
+
+    def __init__(self, sim: Simulator, medium: Medium) -> None:
+        self.sim = sim
+        self.medium = medium
+        self._advertisers: Dict[str, List[ServiceAdvertiser]] = defaultdict(list)
+        self._browsers: Dict[str, List[ServiceBrowser]] = defaultdict(list)
+        self._sessions: Dict[str, List[Session]] = defaultdict(list)
+        self._transfers: Dict[Tuple[str, str], List[_Transfer]] = defaultdict(list)
+        self._pair_busy_until: Dict[Tuple[str, str], float] = {}
+        medium.on_link_up(self._link_up)
+        medium.on_link_down(self._link_down)
+        self.stats = {
+            "invitations_sent": 0,
+            "invitations_accepted": 0,
+            "transfers_completed": 0,
+            "transfers_failed": 0,
+            "bytes_delivered": 0,
+        }
+
+    # -- registration -------------------------------------------------------------
+    def register_advertiser(self, advertiser: ServiceAdvertiser) -> None:
+        self._advertisers[advertiser.peer.device_id].append(advertiser)
+
+    def register_browser(self, browser: ServiceBrowser) -> None:
+        self._browsers[browser.peer.device_id].append(browser)
+
+    def register_session(self, session: Session) -> None:
+        self._sessions[session.peer.device_id].append(session)
+
+    # -- discovery -------------------------------------------------------------------
+    def _link_up(self, a: Device, b: Device, radio: RadioProfile) -> None:
+        self._announce_between(a.device_id, b.device_id)
+        self._announce_between(b.device_id, a.device_id)
+
+    def _announce_between(self, browser_device: str, advertiser_device: str) -> None:
+        """Tell browsers on one device about advertisers on the other."""
+        for browser in self._browsers[browser_device]:
+            if not browser.active:
+                continue
+            for advertiser in self._advertisers[advertiser_device]:
+                if not advertiser.active or advertiser.service_type != browser.service_type:
+                    continue
+                self.sim.schedule_in(
+                    CONTROL_LATENCY_S,
+                    self._deliver_found,
+                    browser,
+                    advertiser,
+                    name="mpc-found",
+                )
+
+    def _deliver_found(self, browser: ServiceBrowser, advertiser: ServiceAdvertiser) -> None:
+        # Re-check validity at delivery time: the link (or either endpoint)
+        # may have gone away during the control latency.
+        if not browser.active or not advertiser.active:
+            return
+        if self.medium.link_between(browser.peer.device_id, advertiser.peer.device_id) is None:
+            return
+        browser.delegate.browser_found_peer(browser, advertiser.peer, advertiser.discovery_info)
+
+    def advertiser_started(self, advertiser: ServiceAdvertiser) -> None:
+        self.reannounce(advertiser)
+
+    def advertiser_stopped(self, advertiser: ServiceAdvertiser) -> None:
+        for neighbour in self.medium.neighbours_of(advertiser.peer.device_id):
+            for browser in self._browsers[neighbour]:
+                if browser.active and browser.service_type == advertiser.service_type:
+                    browser.delegate.browser_lost_peer(browser, advertiser.peer)
+
+    def browser_started(self, browser: ServiceBrowser) -> None:
+        for neighbour in self.medium.neighbours_of(browser.peer.device_id):
+            self._announce_between(browser.peer.device_id, neighbour)
+
+    def reannounce(self, advertiser: ServiceAdvertiser) -> None:
+        """Push a (possibly refreshed) advertisement to in-range browsers."""
+        for neighbour in self.medium.neighbours_of(advertiser.peer.device_id):
+            for browser in self._browsers[neighbour]:
+                if browser.active and browser.service_type == advertiser.service_type:
+                    self.sim.schedule_in(
+                        CONTROL_LATENCY_S,
+                        self._deliver_found,
+                        browser,
+                        advertiser,
+                        name="mpc-reannounce",
+                    )
+
+    # -- invitations --------------------------------------------------------------------
+    def invite(
+        self,
+        browser: ServiceBrowser,
+        remote_peer: PeerID,
+        session: Session,
+        context: bytes,
+    ) -> None:
+        radio = self.medium.link_between(browser.peer.device_id, remote_peer.device_id)
+        if radio is None:
+            return  # peer already gone; invitation silently dies
+        self.stats["invitations_sent"] += 1
+        invitation = Invitation(
+            framework=self,
+            from_peer=browser.peer,
+            to_peer=remote_peer,
+            context=context,
+            inviter_session=session,
+        )
+        self.sim.schedule_in(
+            CONTROL_LATENCY_S, self._deliver_invitation, invitation, name="mpc-invite"
+        )
+
+    def _deliver_invitation(self, invitation: Invitation) -> None:
+        if self.medium.link_between(
+            invitation.from_peer.device_id, invitation.to_peer.device_id
+        ) is None:
+            invitation.cancelled = True
+            return
+        for advertiser in self._advertisers[invitation.to_peer.device_id]:
+            if advertiser.active and advertiser.peer == invitation.to_peer:
+                advertiser.delegate.advertiser_received_invitation(advertiser, invitation)
+                return
+        invitation.cancelled = True  # advertiser stopped meanwhile
+
+    def complete_invitation(self, invitation: Invitation, acceptor_session: Session) -> None:
+        radio = self.medium.link_between(
+            invitation.from_peer.device_id, invitation.to_peer.device_id
+        )
+        if radio is None:
+            return  # link died between acceptance and handshake
+        self.stats["invitations_accepted"] += 1
+        inviter_session = invitation._inviter_session
+        inviter_session._set_state(invitation.to_peer, SessionState.CONNECTING)
+        acceptor_session._set_state(invitation.from_peer, SessionState.CONNECTING)
+        self.sim.schedule_in(
+            radio.setup_latency_s,
+            self._finish_handshake,
+            inviter_session,
+            acceptor_session,
+            invitation.from_peer,
+            invitation.to_peer,
+            name="mpc-handshake",
+        )
+
+    def _finish_handshake(
+        self,
+        inviter_session: Session,
+        acceptor_session: Session,
+        inviter_peer: PeerID,
+        acceptor_peer: PeerID,
+    ) -> None:
+        if self.medium.link_between(inviter_peer.device_id, acceptor_peer.device_id) is None:
+            inviter_session._set_state(acceptor_peer, SessionState.NOT_CONNECTED)
+            acceptor_session._set_state(inviter_peer, SessionState.NOT_CONNECTED)
+            return
+        inviter_session._set_state(acceptor_peer, SessionState.CONNECTED)
+        acceptor_session._set_state(inviter_peer, SessionState.CONNECTED)
+
+    # -- data transfer ------------------------------------------------------------------
+    def transfer(
+        self,
+        session: Session,
+        to_peer: PeerID,
+        data: bytes,
+        on_complete: Optional[Callable[[bool], None]],
+    ) -> None:
+        pair = pair_key(session.peer.device_id, to_peer.device_id)
+        radio = self.medium.link_between(*pair)
+        if radio is None:
+            raise SendError(f"no radio link between {pair[0]} and {pair[1]}")
+        transfer = _Transfer(session, session.peer, to_peer, data, on_complete, pair)
+        # Serialise transfers that share the radio pair: each starts when
+        # the previous one finishes.
+        start = max(self.sim.now, self._pair_busy_until.get(pair, self.sim.now))
+        finish = start + transfer_duration(len(data), radio)
+        self._pair_busy_until[pair] = finish
+        transfer.event = self.sim.schedule_at(
+            finish, self._complete_transfer, transfer, name="mpc-transfer"
+        )
+        self._transfers[pair].append(transfer)
+
+    def _complete_transfer(self, transfer: _Transfer) -> None:
+        self._transfers[transfer.pair] = [
+            t for t in self._transfers[transfer.pair] if t is not transfer
+        ]
+        receiver = self._find_session_for(transfer.to_peer, transfer.from_peer)
+        if receiver is None or self.medium.link_between(*transfer.pair) is None:
+            self.stats["transfers_failed"] += 1
+            if transfer.on_complete:
+                transfer.on_complete(False)
+            return
+        self.stats["transfers_completed"] += 1
+        self.stats["bytes_delivered"] += len(transfer.data)
+        if transfer.on_complete:
+            transfer.on_complete(True)
+        receiver._deliver(transfer.data, transfer.from_peer)
+
+    def _find_session_for(self, owner: PeerID, connected_to: PeerID) -> Optional[Session]:
+        for session in self._sessions[owner.device_id]:
+            if session.peer == owner and session.state_of(connected_to) is SessionState.CONNECTED:
+                return session
+        return None
+
+    # -- teardown -----------------------------------------------------------------------
+    def _link_down(self, a: Device, b: Device, radio: RadioProfile) -> None:
+        pair = pair_key(a.device_id, b.device_id)
+        # Fail in-flight transfers.
+        for transfer in self._transfers.pop(pair, []):
+            if transfer.event is not None:
+                transfer.event.cancel()
+            self.stats["transfers_failed"] += 1
+            if transfer.on_complete:
+                transfer.on_complete(False)
+        self._pair_busy_until.pop(pair, None)
+        # Disconnect sessions spanning the pair.
+        for session in self._sessions[a.device_id]:
+            for peer in list(session.connected_peers):
+                if peer.device_id == b.device_id:
+                    session._set_state(peer, SessionState.NOT_CONNECTED)
+        for session in self._sessions[b.device_id]:
+            for peer in list(session.connected_peers):
+                if peer.device_id == a.device_id:
+                    session._set_state(peer, SessionState.NOT_CONNECTED)
+        # Tell browsers the peers are gone.
+        self._lost_between(a.device_id, b.device_id)
+        self._lost_between(b.device_id, a.device_id)
+
+    def _lost_between(self, browser_device: str, advertiser_device: str) -> None:
+        for browser in self._browsers[browser_device]:
+            if not browser.active:
+                continue
+            for advertiser in self._advertisers[advertiser_device]:
+                if advertiser.active and advertiser.service_type == browser.service_type:
+                    browser.delegate.browser_lost_peer(browser, advertiser.peer)
+
+    def session_disconnect_all(self, session: Session) -> None:
+        """Explicit MCSession.disconnect(): drop every connection."""
+        for peer in list(session.connected_peers):
+            self.session_disconnect_all_with(session, peer)
+
+    def session_disconnect_all_with(self, session: Session, peer: PeerID) -> None:
+        """Drop one peer from a session (both directions)."""
+        remote = self._find_session_for(peer, session.peer)
+        session._set_state(peer, SessionState.NOT_CONNECTED)
+        if remote is not None:
+            remote._set_state(session.peer, SessionState.NOT_CONNECTED)

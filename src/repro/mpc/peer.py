@@ -1,0 +1,28 @@
+"""Peer identities (MCPeerID analogue)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PeerID:
+    """A peer identity bound to a physical device.
+
+    ``display_name`` mirrors MCPeerID's displayName; ``device_id`` binds
+    the peer to the simulated hardware so the framework can resolve radio
+    links.  One device can host several peers (several apps embedding the
+    SOS middleware — the paper's per-app-instance design, §III).
+    """
+
+    display_name: str
+    device_id: str
+
+    def __post_init__(self) -> None:
+        if not self.display_name:
+            raise ValueError("display_name must be non-empty")
+        if not self.device_id:
+            raise ValueError("device_id must be non-empty")
+
+    def __str__(self) -> str:
+        return f"{self.display_name}@{self.device_id}"

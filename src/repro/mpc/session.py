@@ -1,0 +1,110 @@
+"""MPC sessions (MCSession analogue).
+
+A session is one app's endpoint for connected-peer communication.  Peers
+are added by the invitation flow (browser invites, advertiser accepts) and
+removed when the radio link drops.  Data transfer is reliable-or-
+disconnect, like MCSession's ``.reliable`` mode: either the bytes arrive
+(after a bandwidth-accurate delay) or the peer transitions to
+``NOT_CONNECTED`` and the sender learns the transfer failed.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.mpc.errors import NotConnectedError
+from repro.mpc.peer import PeerID
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.framework import MpcFramework
+
+
+class SessionState(Enum):
+    """MCSessionState analogue."""
+
+    NOT_CONNECTED = "not_connected"
+    CONNECTING = "connecting"
+    CONNECTED = "connected"
+
+
+class SessionDelegate:
+    """Callback interface; subclass and override what you need."""
+
+    def session_peer_connected(self, session: "Session", peer: PeerID) -> None:
+        """Peer finished the handshake and can receive data."""
+
+    def session_peer_disconnected(self, session: "Session", peer: PeerID) -> None:
+        """Peer left (link drop, remote stop, or explicit disconnect)."""
+
+    def session_received_data(self, session: "Session", data: bytes, from_peer: PeerID) -> None:
+        """Reliable payload arrived from ``from_peer``."""
+
+
+class Session:
+    """One endpoint of (possibly several) peer connections.
+
+    MPC encrypts session traffic; we model that as a boolean contract
+    (``encrypted``) — the SOS layer adds its own end-to-end cryptography
+    with certificates on top, which is the part the paper actually
+    specifies (§IV).
+    """
+
+    def __init__(
+        self,
+        framework: "MpcFramework",
+        peer: PeerID,
+        delegate: Optional[SessionDelegate] = None,
+        encrypted: bool = True,
+    ) -> None:
+        self.framework = framework
+        self.peer = peer
+        self.delegate = delegate or SessionDelegate()
+        self.encrypted = encrypted
+        self._peer_states: Dict[PeerID, SessionState] = {}
+        framework.register_session(self)
+
+    # -- state -------------------------------------------------------------------
+    @property
+    def connected_peers(self) -> List[PeerID]:
+        return [p for p, s in self._peer_states.items() if s is SessionState.CONNECTED]
+
+    def state_of(self, peer: PeerID) -> SessionState:
+        return self._peer_states.get(peer, SessionState.NOT_CONNECTED)
+
+    # -- data ---------------------------------------------------------------------
+    def send(
+        self,
+        data: bytes,
+        to_peer: PeerID,
+        on_complete: Optional[Callable[[bool], None]] = None,
+    ) -> None:
+        """Reliably send ``data`` to a connected peer.
+
+        ``on_complete(True)`` fires when the bytes were delivered,
+        ``on_complete(False)`` if the link failed mid-transfer.  Raises
+        :class:`NotConnectedError` if the peer is not connected *now*.
+        """
+        if self.state_of(to_peer) is not SessionState.CONNECTED:
+            raise NotConnectedError(f"{to_peer} is not connected to {self.peer}")
+        self.framework.transfer(self, to_peer, data, on_complete)
+
+    def disconnect(self) -> None:
+        """Leave all connections (MCSession.disconnect analogue)."""
+        self.framework.session_disconnect_all(self)
+
+    # -- framework-internal state transitions ---------------------------------------
+    def _set_state(self, peer: PeerID, state: SessionState) -> None:
+        previous = self._peer_states.get(peer, SessionState.NOT_CONNECTED)
+        if state is SessionState.NOT_CONNECTED:
+            self._peer_states.pop(peer, None)
+        else:
+            self._peer_states[peer] = state
+        if previous is not state:
+            if state is SessionState.CONNECTED:
+                self.delegate.session_peer_connected(self, peer)
+            elif state is SessionState.NOT_CONNECTED and previous is SessionState.CONNECTED:
+                self.delegate.session_peer_disconnected(self, peer)
+
+    def _deliver(self, data: bytes, from_peer: PeerID) -> None:
+        self.delegate.session_received_data(self, data, from_peer)

@@ -1,0 +1,32 @@
+"""Radio and contact substrate.
+
+Models the physical half of the deployment: devices carried by mobility
+models, each fitted with the radio set an iPhone brings to Multipeer
+Connectivity — Bluetooth PAN, peer-to-peer WiFi, and infrastructure WiFi
+through fixed hotspots.  The :class:`~repro.net.medium.Medium` ticks the
+mobility models, maintains a spatial index, and turns geometry into
+*contact events* (link up / link down with an effective radio), which is
+the only interface the MPC layer above ever sees.
+"""
+
+from repro.net.radio import RadioTechnology, RadioProfile, BLUETOOTH, P2P_WIFI, INFRA_WIFI
+from repro.net.device import Device
+from repro.net.contact import Contact, ContactTracker
+from repro.net.medium import Medium
+from repro.net.bandwidth import transfer_duration
+from repro.net.energy import EnergyBudget, EnergyMeter
+
+__all__ = [
+    "RadioTechnology",
+    "RadioProfile",
+    "BLUETOOTH",
+    "P2P_WIFI",
+    "INFRA_WIFI",
+    "Device",
+    "Contact",
+    "ContactTracker",
+    "Medium",
+    "transfer_duration",
+    "EnergyBudget",
+    "EnergyMeter",
+]

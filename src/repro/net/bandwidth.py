@@ -1,0 +1,33 @@
+"""Transfer-time and message-size accounting.
+
+The medium does not simulate per-packet behaviour; at DTN timescales what
+matters is whether a message of size S fits inside a contact of duration D
+on a radio of throughput B (plus fixed per-transfer overhead).
+"""
+
+from __future__ import annotations
+
+from repro.net.radio import RadioProfile
+
+#: Fixed protocol overhead per application transfer (framing, acks), bytes.
+PER_TRANSFER_OVERHEAD_BYTES = 512
+
+#: Latency floor per transfer, seconds (radio turnaround, scheduling).
+PER_TRANSFER_LATENCY_S = 0.05
+
+
+def transfer_duration(size_bytes: int, radio: RadioProfile) -> float:
+    """Seconds needed to move ``size_bytes`` over ``radio``."""
+    if size_bytes < 0:
+        raise ValueError(f"negative transfer size {size_bytes}")
+    total_bits = (size_bytes + PER_TRANSFER_OVERHEAD_BYTES) * 8
+    return PER_TRANSFER_LATENCY_S + total_bits / radio.throughput_bps
+
+
+def transfers_possible(contact_seconds: float, size_bytes: int, radio: RadioProfile) -> int:
+    """How many transfers of ``size_bytes`` fit in a contact of the given
+    length (0 when even one does not fit)."""
+    if contact_seconds <= 0:
+        return 0
+    per = transfer_duration(size_bytes, radio)
+    return int(contact_seconds // per)

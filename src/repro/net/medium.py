@@ -1,0 +1,180 @@
+"""The shared radio medium.
+
+The medium owns the physical truth of the simulation: where every device
+is, and which pairs are within radio range.  On a fixed tick it advances
+every mobility model, refreshes a spatial index, and diffs the in-range
+pair set against the previous tick, emitting ``link_up`` / ``link_down``
+callbacks with the best common radio.  Hysteresis (connect at R, drop at
+R * ``hysteresis``) prevents link flapping at range boundaries — real
+radios behave the same way because of fading margins.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.geo.spatial_index import SpatialHashIndex
+from repro.net.contact import ContactTracker, pair_key
+from repro.net.device import Device
+from repro.net.radio import RadioProfile, best_common_radio
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicTimer
+
+LinkCallback = Callable[[Device, Device, RadioProfile], None]
+
+
+class Medium:
+    """Contact detection over mobile devices.
+
+    Parameters
+    ----------
+    sim:
+        The simulation engine (drives the tick).
+    tick_interval:
+        Seconds between position refreshes.  30 s resolves walking-speed
+        encounters (a 10 m Bluetooth bubble at 1.4 m/s closing speed lasts
+        ~14 s; P2P WiFi at 60 m lasts ~85 s) while keeping 7-day runs fast;
+        tighten it in micro-benchmarks when Bluetooth-only fidelity matters.
+    hysteresis:
+        Link-drop range multiplier (drop at range * hysteresis).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        tick_interval: float = 30.0,
+        hysteresis: float = 1.1,
+    ) -> None:
+        if tick_interval <= 0:
+            raise ValueError(f"tick_interval must be positive, got {tick_interval}")
+        if hysteresis < 1.0:
+            raise ValueError(f"hysteresis must be >= 1.0, got {hysteresis}")
+        self.sim = sim
+        self.tick_interval = float(tick_interval)
+        self.hysteresis = float(hysteresis)
+        self.devices: Dict[str, Device] = {}
+        self.contacts = ContactTracker()
+        self._index = SpatialHashIndex(cell_size=120.0)
+        self._linked: Dict[Tuple[str, str], RadioProfile] = {}
+        self._up_callbacks: List[LinkCallback] = []
+        self._down_callbacks: List[LinkCallback] = []
+        self._max_range = 0.0
+        self._timer = PeriodicTimer(sim, self.tick_interval, self.tick, name="medium-tick")
+
+    # -- population ---------------------------------------------------------------
+    def add_device(self, device: Device) -> None:
+        if device.device_id in self.devices:
+            raise ValueError(f"duplicate device id {device.device_id!r}")
+        self.devices[device.device_id] = device
+        self._max_range = max(
+            self._max_range, max(r.range_m for r in device.radios)
+        )
+        self._index.update(device.device_id, device.position_at(self.sim.now))
+
+    def remove_device(self, device_id: str) -> None:
+        device = self.devices.pop(device_id, None)
+        if device is None:
+            return
+        self._index.remove(device_id)
+        for key in [k for k in self._linked if device_id in k]:
+            self._drop_link(key)
+
+    # -- callbacks -----------------------------------------------------------------
+    def on_link_up(self, callback: LinkCallback) -> None:
+        self._up_callbacks.append(callback)
+
+    def on_link_down(self, callback: LinkCallback) -> None:
+        self._down_callbacks.append(callback)
+
+    # -- lifecycle -----------------------------------------------------------------
+    def start(self) -> None:
+        """Begin periodic ticking; performs an immediate first tick so
+        links existing at t=0 are detected."""
+        self.tick()
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+        for key in list(self._linked):
+            self._drop_link(key)
+        self.contacts.close_all(self.sim.now)
+
+    # -- the tick ---------------------------------------------------------------------
+    def tick(self) -> None:
+        """Advance positions and rediff the in-range pair set."""
+        now = self.sim.now
+        for device in self.devices.values():
+            self._index.update(device.device_id, device.position_at(now))
+
+        desired: Dict[Tuple[str, str], RadioProfile] = {}
+        seen: Set[Tuple[str, str]] = set()
+        for device_id, device in self.devices.items():
+            if not device.powered_on:
+                continue
+            position = self._index.position_of(device_id)
+            for other_id in self._index.within(position, self._max_range * self.hysteresis, exclude=device_id):
+                key = pair_key(device_id, other_id)
+                if key in seen:
+                    continue
+                seen.add(key)
+                other = self.devices[other_id]
+                if not other.powered_on:
+                    continue
+                radio = best_common_radio(device.radios, other.radios)
+                if radio is None:
+                    continue
+                dist = position.distance_to(self._index.position_of(other_id))
+                if key in self._linked:
+                    # Existing link survives out to the hysteresis margin.
+                    if dist <= radio.range_m * self.hysteresis:
+                        desired[key] = self._linked[key]
+                elif dist <= radio.range_m:
+                    desired[key] = radio
+
+        for key in [k for k in self._linked if k not in desired]:
+            self._drop_link(key)
+        for key, radio in desired.items():
+            if key not in self._linked:
+                self._raise_link(key, radio)
+
+    def _raise_link(self, key: Tuple[str, str], radio: RadioProfile) -> None:
+        self._linked[key] = radio
+        a, b = self.devices[key[0]], self.devices[key[1]]
+        self.contacts.contact_up(key[0], key[1], radio, self.sim.now)
+        self.sim.trace.emit(
+            self.sim.now, "contact", "up", a=key[0], b=key[1], radio=radio.technology.value
+        )
+        for callback in self._up_callbacks:
+            callback(a, b, radio)
+
+    def _drop_link(self, key: Tuple[str, str]) -> None:
+        radio = self._linked.pop(key, None)
+        if radio is None:
+            return
+        a, b = self.devices.get(key[0]), self.devices.get(key[1])
+        self.contacts.contact_down(key[0], key[1], self.sim.now)
+        self.sim.trace.emit(
+            self.sim.now, "contact", "down", a=key[0], b=key[1], radio=radio.technology.value
+        )
+        if a is not None and b is not None:
+            for callback in self._down_callbacks:
+                callback(a, b, radio)
+
+    # -- queries --------------------------------------------------------------------
+    def link_between(self, a: str, b: str) -> Optional[RadioProfile]:
+        """The active radio between two devices, or None."""
+        return self._linked.get(pair_key(a, b))
+
+    def neighbours_of(self, device_id: str) -> List[str]:
+        """Device ids currently linked with ``device_id``."""
+        out = []
+        for key in self._linked:
+            if key[0] == device_id:
+                out.append(key[1])
+            elif key[1] == device_id:
+                out.append(key[0])
+        return out
+
+    @property
+    def active_links(self) -> int:
+        return len(self._linked)

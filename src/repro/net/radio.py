@@ -1,0 +1,83 @@
+"""Radio technology profiles.
+
+Apple's Multipeer Connectivity multiplexes three underlying transports
+(paper §III-D): Bluetooth personal area networks, peer-to-peer WiFi, and
+infrastructure WiFi.  Each profile captures the parameters that matter to
+a DTN: communication range, application-layer throughput, and session
+setup latency.  Numbers are conservative published figures for iPhone-era
+hardware, not marketing maxima.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class RadioTechnology(Enum):
+    BLUETOOTH = "bluetooth"
+    P2P_WIFI = "p2p_wifi"
+    INFRA_WIFI = "infra_wifi"
+
+
+@dataclass(frozen=True)
+class RadioProfile:
+    """Parameters of one radio technology.
+
+    Attributes
+    ----------
+    range_m:
+        Reliable communication range in metres.
+    throughput_bps:
+        Sustained application-layer throughput in bits/second.
+    setup_latency_s:
+        Time from invitation to an established encrypted session.
+    """
+
+    technology: RadioTechnology
+    range_m: float
+    throughput_bps: float
+    setup_latency_s: float
+
+    def __post_init__(self) -> None:
+        if self.range_m <= 0 or self.throughput_bps <= 0 or self.setup_latency_s < 0:
+            raise ValueError(f"invalid radio profile {self!r}")
+
+
+#: Bluetooth PAN: ~10 m class-2 range, ~2 Mbit/s effective.
+BLUETOOTH = RadioProfile(
+    technology=RadioTechnology.BLUETOOTH,
+    range_m=10.0,
+    throughput_bps=2_000_000.0,
+    setup_latency_s=3.0,
+)
+
+#: Peer-to-peer WiFi (AWDL): ~60 m open-air, ~25 Mbit/s effective.
+P2P_WIFI = RadioProfile(
+    technology=RadioTechnology.P2P_WIFI,
+    range_m=60.0,
+    throughput_bps=25_000_000.0,
+    setup_latency_s=1.5,
+)
+
+#: Infrastructure WiFi through a shared access point: AP coverage ~100 m.
+INFRA_WIFI = RadioProfile(
+    technology=RadioTechnology.INFRA_WIFI,
+    range_m=100.0,
+    throughput_bps=50_000_000.0,
+    setup_latency_s=0.8,
+)
+
+#: The full iOS device radio set, in preference order (fastest first).
+DEFAULT_RADIO_SET = (P2P_WIFI, BLUETOOTH)
+
+
+def best_common_radio(a_radios, b_radios) -> RadioProfile:
+    """The highest-throughput technology present on both devices, or None."""
+    a_by_tech = {r.technology: r for r in a_radios}
+    best = None
+    for radio in b_radios:
+        if radio.technology in a_by_tech:
+            if best is None or radio.throughput_bps > best.throughput_bps:
+                best = radio
+    return best

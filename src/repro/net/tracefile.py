@@ -1,0 +1,190 @@
+"""Contact-trace export and replay.
+
+The paper's stated goal is DTN evaluation that is "replicable, comparable,
+and available to a variety of researchers" (§I).  Contact traces are the
+lingua franca for that: a list of ``(start, end, node_a, node_b)``
+intervals, as used by the ONE simulator's connectivity reports and the
+CRAWDAD archives.  This module can
+
+* export a finished run's contacts to that format
+  (:func:`write_contact_trace`),
+* parse such files (:func:`read_contact_trace`), and
+* *replay* a trace as the ground truth of a new simulation
+  (:class:`TraceMedium`) — the full SOS/AlleyOop stack runs unmodified on
+  recorded contacts instead of synthetic mobility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from repro.net.contact import Contact, ContactTracker, pair_key
+from repro.net.device import Device
+from repro.net.radio import P2P_WIFI, RadioProfile
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class ContactInterval:
+    """One recorded contact: two node ids and a time interval."""
+
+    node_a: str
+    node_b: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValueError(f"empty contact interval [{self.start}, {self.end}]")
+        if self.node_a == self.node_b:
+            raise ValueError(f"self-contact for {self.node_a!r}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def write_contact_trace(contacts: Iterable[Contact], fh: TextIO) -> int:
+    """Write completed contacts as ``start end node_a node_b`` lines.
+
+    Active (never-closed) contacts are skipped.  Returns the number of
+    lines written.
+    """
+    written = 0
+    for contact in sorted(contacts, key=lambda c: (c.start, c.key)):
+        if contact.end is None:
+            continue
+        fh.write(
+            f"{contact.start:.3f} {contact.end:.3f} "
+            f"{contact.device_a} {contact.device_b}\n"
+        )
+        written += 1
+    return written
+
+
+def read_contact_trace(fh: TextIO) -> List[ContactInterval]:
+    """Parse ``start end node_a node_b`` lines (``#`` comments allowed)."""
+    intervals = []
+    for lineno, line in enumerate(fh, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4:
+            raise ValueError(f"malformed contact line {lineno}: {line!r}")
+        intervals.append(
+            ContactInterval(
+                start=float(parts[0]),
+                end=float(parts[1]),
+                node_a=parts[2],
+                node_b=parts[3],
+            )
+        )
+    intervals.sort(key=lambda i: i.start)
+    return intervals
+
+
+class TraceMedium:
+    """A drop-in :class:`~repro.net.medium.Medium` replacement driven by a
+    recorded contact trace instead of geometry.
+
+    Only the surface the MPC layer consumes is implemented: device
+    registry, link callbacks, ``link_between`` / ``neighbours_of`` and the
+    contact tracker.  Devices still need (dummy) mobility for position
+    queries; positions are irrelevant to trace-driven contacts.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        intervals: Iterable[ContactInterval],
+        radio: RadioProfile = P2P_WIFI,
+    ) -> None:
+        self.sim = sim
+        self.radio = radio
+        self.devices: Dict[str, Device] = {}
+        self.contacts = ContactTracker()
+        self._intervals = sorted(intervals, key=lambda i: i.start)
+        self._linked: Dict[Tuple[str, str], RadioProfile] = {}
+        self._up_callbacks = []
+        self._down_callbacks = []
+        self._started = False
+
+    # -- Medium surface -----------------------------------------------------------
+    def add_device(self, device: Device) -> None:
+        if device.device_id in self.devices:
+            raise ValueError(f"duplicate device id {device.device_id!r}")
+        self.devices[device.device_id] = device
+
+    def on_link_up(self, callback) -> None:
+        self._up_callbacks.append(callback)
+
+    def on_link_down(self, callback) -> None:
+        self._down_callbacks.append(callback)
+
+    def link_between(self, a: str, b: str) -> Optional[RadioProfile]:
+        return self._linked.get(pair_key(a, b))
+
+    def neighbours_of(self, device_id: str) -> List[str]:
+        out = []
+        for key in self._linked:
+            if key[0] == device_id:
+                out.append(key[1])
+            elif key[1] == device_id:
+                out.append(key[0])
+        return out
+
+    @property
+    def active_links(self) -> int:
+        return len(self._linked)
+
+    # -- lifecycle -------------------------------------------------------------------
+    def start(self) -> None:
+        """Schedule every up/down event from the trace."""
+        if self._started:
+            return
+        self._started = True
+        for interval in self._intervals:
+            if interval.node_a not in self.devices or interval.node_b not in self.devices:
+                continue  # trace mentions nodes we are not simulating
+            if interval.end <= self.sim.now:
+                continue
+            up_at = max(interval.start, self.sim.now)
+            self.sim.schedule_at(up_at, self._link_up, interval, name="trace-up")
+            self.sim.schedule_at(interval.end, self._link_down, interval, name="trace-down")
+
+    def stop(self) -> None:
+        for key in list(self._linked):
+            self._drop(key)
+        self.contacts.close_all(self.sim.now)
+
+    # -- events ------------------------------------------------------------------------
+    def _link_up(self, interval: ContactInterval) -> None:
+        key = pair_key(interval.node_a, interval.node_b)
+        if key in self._linked:
+            return
+        a, b = self.devices[key[0]], self.devices[key[1]]
+        if not (a.powered_on and b.powered_on):
+            return
+        self._linked[key] = self.radio
+        self.contacts.contact_up(key[0], key[1], self.radio, self.sim.now)
+        self.sim.trace.emit(self.sim.now, "contact", "up", a=key[0], b=key[1],
+                            radio=self.radio.technology.value)
+        for callback in self._up_callbacks:
+            callback(a, b, self.radio)
+
+    def _link_down(self, interval: ContactInterval) -> None:
+        self._drop(pair_key(interval.node_a, interval.node_b))
+
+    def _drop(self, key: Tuple[str, str]) -> None:
+        radio = self._linked.pop(key, None)
+        if radio is None:
+            return
+        a, b = self.devices.get(key[0]), self.devices.get(key[1])
+        self.contacts.contact_down(key[0], key[1], self.sim.now)
+        self.sim.trace.emit(self.sim.now, "contact", "down", a=key[0], b=key[1],
+                            radio=radio.technology.value)
+        if a is not None and b is not None:
+            for callback in self._down_callbacks:
+                callback(a, b, radio)

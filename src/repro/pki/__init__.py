@@ -1,0 +1,34 @@
+"""Public-key infrastructure for SOS (paper §IV, Fig. 2a).
+
+AlleyOop Social's security model is a deliberately simple, one-time PKI:
+
+1. during sign-up (with Internet), the device generates a key pair and
+   sends a certificate signing request to the AlleyOop CA,
+2. the cloud cross-checks that the unique user-identifier in the request
+   matches the logged-in user (the paper's mitigation for impersonation),
+3. the CA returns an X.509-style certificate plus its root certificate,
+4. from then on no infrastructure is needed: devices authenticate each
+   other and verify forwarded messages offline using the root certificate.
+
+This package implements the certificate format, the certificate authority,
+chain validation with expiry/revocation checks, and the device keystore.
+"""
+
+from repro.pki.certificate import Certificate, CertificateError, DistinguishedName
+from repro.pki.csr import CertificateSigningRequest
+from repro.pki.ca import CertificateAuthority
+from repro.pki.validation import CertificateValidator, ValidationResult
+from repro.pki.revocation import RevocationList
+from repro.pki.keystore import KeyStore
+
+__all__ = [
+    "Certificate",
+    "CertificateError",
+    "DistinguishedName",
+    "CertificateSigningRequest",
+    "CertificateAuthority",
+    "CertificateValidator",
+    "ValidationResult",
+    "RevocationList",
+    "KeyStore",
+]

@@ -1,0 +1,75 @@
+"""Certificate signing requests.
+
+In the paper's Fig. 2a flow the device sends its public key and claimed
+unique user-identifier to the cloud, which relays it to the CA.  A CSR is
+self-signed (proof of possession of the private key) so a malicious cloud
+cannot substitute its own key for the user's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.rsa import RsaPrivateKey, RsaPublicKey
+from repro.pki.certificate import CertificateError, DistinguishedName, _pack_bytes, _pack_str, _Reader
+
+
+@dataclass(frozen=True)
+class CertificateSigningRequest:
+    """A self-signed request for certification."""
+
+    subject: DistinguishedName
+    public_key: RsaPublicKey
+    user_id: str
+    signature: bytes = b""
+
+    def tbs_bytes(self) -> bytes:
+        return (
+            b"SOSR\x01"
+            + self.subject.encode()
+            + _pack_bytes(self.public_key.to_bytes())
+            + _pack_str(self.user_id)
+        )
+
+    def encode(self) -> bytes:
+        return _pack_bytes(self.tbs_bytes()) + _pack_bytes(self.signature)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "CertificateSigningRequest":
+        outer = _Reader(data)
+        tbs = outer.read_bytes()
+        signature = outer.read_bytes()
+        reader = _Reader(tbs)
+        magic = reader._take(5)
+        if magic != b"SOSR\x01":
+            raise CertificateError(f"unsupported CSR format {magic!r}")
+        subject = DistinguishedName.decode(reader)
+        try:
+            public_key = RsaPublicKey.from_bytes(reader.read_bytes())
+        except ValueError as exc:
+            raise CertificateError(f"malformed public key: {exc}") from exc
+        user_id = reader.read_str()
+        return cls(subject=subject, public_key=public_key, user_id=user_id, signature=signature)
+
+    @classmethod
+    def create(
+        cls,
+        subject: DistinguishedName,
+        private_key: RsaPrivateKey,
+        user_id: str,
+    ) -> "CertificateSigningRequest":
+        """Build and self-sign a request (proof of key possession)."""
+        unsigned = cls(subject=subject, public_key=private_key.public_key(), user_id=user_id)
+        signature = private_key.sign(unsigned.tbs_bytes())
+        return cls(
+            subject=subject,
+            public_key=private_key.public_key(),
+            user_id=user_id,
+            signature=signature,
+        )
+
+    def verify(self) -> bool:
+        """Check the self-signature: the requester holds the private key."""
+        if not self.signature:
+            return False
+        return self.public_key.verify(self.tbs_bytes(), self.signature)

@@ -1,0 +1,98 @@
+"""Per-device key and certificate storage.
+
+Models the iOS keychain role in SOS: it holds the device's own private key
+and certificate, the CA root installed at sign-up, and a cache of peer
+certificates learned over D2D connections (including certificates
+*forwarded* on behalf of message originators, paper Fig. 3b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto.rsa import RsaPrivateKey
+from repro.pki.certificate import Certificate
+from repro.pki.revocation import RevocationList
+from repro.pki.validation import CertificateValidator, ValidationResult
+
+
+class KeyStore:
+    """Device-local trust store."""
+
+    def __init__(self) -> None:
+        self.private_key: Optional[RsaPrivateKey] = None
+        self.own_certificate: Optional[Certificate] = None
+        self.root_certificate: Optional[Certificate] = None
+        self._peer_certs: Dict[str, Certificate] = {}
+        self._revocations = RevocationList()
+        self._validator: Optional[CertificateValidator] = None
+
+    # -- provisioning (the Fig. 2a one-time step) ----------------------------
+    def provision(
+        self,
+        private_key: RsaPrivateKey,
+        certificate: Certificate,
+        root: Certificate,
+    ) -> None:
+        """Install the material obtained during sign-up."""
+        if certificate.public_key != private_key.public_key():
+            raise ValueError("certificate does not match the private key")
+        self.private_key = private_key
+        self.own_certificate = certificate
+        self.root_certificate = root
+        self._validator = CertificateValidator(root=root, revocations=self._revocations)
+
+    @property
+    def provisioned(self) -> bool:
+        return self._validator is not None
+
+    def _require_validator(self) -> CertificateValidator:
+        if self._validator is None:
+            raise RuntimeError("keystore not provisioned; complete sign-up first")
+        return self._validator
+
+    # -- peer certificates ----------------------------------------------------
+    def validate_and_cache(
+        self,
+        certificate: Certificate,
+        now: float,
+        expected_user_id: Optional[str] = None,
+    ) -> ValidationResult:
+        """Validate a peer (or forwarded-originator) certificate; cache on
+        success, keyed by user-identifier."""
+        result = self._require_validator().validate(
+            certificate, now, expected_user_id=expected_user_id
+        )
+        if result.ok:
+            self._peer_certs[certificate.user_id] = certificate
+        return result
+
+    def peer_certificate(self, user_id: str) -> Optional[Certificate]:
+        return self._peer_certs.get(user_id)
+
+    def known_peers(self) -> list:
+        return sorted(self._peer_certs)
+
+    def forget_peer(self, user_id: str) -> None:
+        self._peer_certs.pop(user_id, None)
+
+    # -- revocation sync --------------------------------------------------------
+    def sync_revocations(self, authority_crl: RevocationList) -> None:
+        """Copy the CA's CRL; only possible with infrastructure (paper §IV).
+
+        Cached certificates that are now revoked are evicted immediately.
+        """
+        self._revocations = authority_crl.snapshot()
+        if self._validator is not None:
+            self._validator.update_revocations(self._revocations)
+        revoked_users = [
+            uid
+            for uid, cert in self._peer_certs.items()
+            if self._revocations.is_revoked(cert.serial)
+        ]
+        for uid in revoked_users:
+            del self._peer_certs[uid]
+
+    @property
+    def revocation_version(self) -> int:
+        return self._revocations.version

@@ -1,0 +1,85 @@
+"""Certificate validation as performed on-device by the ad hoc manager.
+
+Validation is fully offline: it needs only the root certificate installed
+at sign-up and the device's last-synced revocation snapshot.  This is what
+lets AlleyOop Social forward Alice's certificate through Bob to Carol
+(paper Fig. 3b) and have Carol verify provenance with no infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.pki.certificate import Certificate
+from repro.pki.revocation import RevocationList
+
+
+class ValidationResult(Enum):
+    """Outcome of a certificate validation attempt."""
+
+    VALID = "valid"
+    BAD_SIGNATURE = "bad_signature"
+    EXPIRED = "expired"
+    NOT_YET_VALID = "not_yet_valid"
+    REVOKED = "revoked"
+    UNTRUSTED_ISSUER = "untrusted_issuer"
+    USER_ID_MISMATCH = "user_id_mismatch"
+
+    @property
+    def ok(self) -> bool:
+        return self is ValidationResult.VALID
+
+
+@dataclass
+class CertificateValidator:
+    """Validates end-entity certificates against one trusted root.
+
+    Parameters
+    ----------
+    root:
+        The CA root certificate installed during sign-up.
+    revocations:
+        The device's local revocation snapshot (may lag the CA's, which is
+        exactly the exposure the paper discusses).
+    """
+
+    root: Certificate
+    revocations: Optional[RevocationList] = None
+
+    def __post_init__(self) -> None:
+        if not self.root.is_ca:
+            raise ValueError("trust anchor must be a CA certificate")
+        if not self.root.is_self_signed():
+            raise ValueError("trust anchor must be self-signed and self-consistent")
+
+    def validate(
+        self,
+        certificate: Certificate,
+        now: float,
+        expected_user_id: Optional[str] = None,
+    ) -> ValidationResult:
+        """Validate ``certificate`` at time ``now``.
+
+        ``expected_user_id`` pins the certificate to the identity claimed
+        in a plain-text advertisement or message header; a mismatch means
+        someone is presenting a valid certificate for the *wrong* user.
+        """
+        if certificate.issuer != self.root.subject:
+            return ValidationResult.UNTRUSTED_ISSUER
+        if not certificate.verify_signature(self.root.public_key):
+            return ValidationResult.BAD_SIGNATURE
+        if now < certificate.not_before:
+            return ValidationResult.NOT_YET_VALID
+        if now > certificate.not_after:
+            return ValidationResult.EXPIRED
+        if self.revocations is not None and self.revocations.is_revoked(certificate.serial):
+            return ValidationResult.REVOKED
+        if expected_user_id is not None and certificate.user_id != expected_user_id:
+            return ValidationResult.USER_ID_MISMATCH
+        return ValidationResult.VALID
+
+    def update_revocations(self, fresh: RevocationList) -> None:
+        """Replace the local snapshot after an infrastructure sync."""
+        self.revocations = fresh.snapshot()

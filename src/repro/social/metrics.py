@@ -1,0 +1,146 @@
+"""Social-network measures used in paper §VI-A.
+
+Each function implements exactly the quantity the paper reports for
+Fig. 4a, with the same conventions:
+
+* **density** — directed: ``m / (n (n-1))``,
+* **compactness** — average shortest path length over unordered node
+  pairs of the *undirected projection*: ``sum_{i>j} l(i,j) / (n(n-1)/2)``,
+* **diameter / eccentricity / radius / center** — on the undirected
+  projection (the paper's center nodes 6 and 7 have radius 1),
+* **transitivity** — ``3 * triangles / connected triads`` on the
+  undirected projection (the paper's T(G) = 0.80).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.social.digraph import SocialDigraph
+
+Node = Hashable
+
+
+def density_directed(graph: SocialDigraph) -> float:
+    """Directed density m / (n(n-1)).  Paper value for Fig. 4a: 0.64."""
+    n = graph.node_count
+    if n < 2:
+        return 0.0
+    return graph.edge_count / (n * (n - 1))
+
+
+def density_undirected(graph: SocialDigraph) -> float:
+    """Density of the undirected projection: e / (n(n-1)/2)."""
+    n = graph.node_count
+    if n < 2:
+        return 0.0
+    return graph.undirected_edge_count() / (n * (n - 1) / 2.0)
+
+
+def _all_pairs_distances(graph: SocialDigraph) -> Dict[Node, Dict[Node, int]]:
+    adj = graph.undirected_adjacency()
+    return {node: SocialDigraph.bfs_distances(adj, node) for node in adj}
+
+
+def average_shortest_path_length(graph: SocialDigraph) -> float:
+    """Mean undirected shortest-path length over unordered pairs.
+
+    Paper: sum l(i,j) / (n(n-1)/2) = 1.3 for Fig. 4a.  Raises if the
+    graph is disconnected (a pair would have infinite distance).
+    """
+    n = graph.node_count
+    if n < 2:
+        return 0.0
+    distances = _all_pairs_distances(graph)
+    total = 0
+    count = 0
+    nodes = graph.nodes
+    for i, a in enumerate(nodes):
+        for b in nodes[i + 1 :]:
+            if b not in distances[a]:
+                raise ValueError(f"graph disconnected: no path {a!r} ~ {b!r}")
+            total += distances[a][b]
+            count += 1
+    return total / count
+
+
+def eccentricities(graph: SocialDigraph) -> Dict[Node, int]:
+    """Undirected eccentricity of each node: max distance to any other."""
+    distances = _all_pairs_distances(graph)
+    n = graph.node_count
+    out: Dict[Node, int] = {}
+    for node, dist in distances.items():
+        if len(dist) != n:
+            raise ValueError(f"graph disconnected at {node!r}")
+        out[node] = max(dist.values()) if n > 1 else 0
+    return out
+
+
+def diameter(graph: SocialDigraph) -> int:
+    """Maximum eccentricity.  Paper value: d(G) = 2."""
+    ecc = eccentricities(graph)
+    return max(ecc.values()) if ecc else 0
+
+
+def radius(graph: SocialDigraph) -> int:
+    """Minimum eccentricity.  Paper value: 1."""
+    ecc = eccentricities(graph)
+    return min(ecc.values()) if ecc else 0
+
+
+def center(graph: SocialDigraph) -> List[Node]:
+    """Nodes whose eccentricity equals the radius.  Paper: nodes 6 and 7."""
+    ecc = eccentricities(graph)
+    if not ecc:
+        return []
+    r = min(ecc.values())
+    return sorted((node for node, e in ecc.items() if e == r), key=repr)
+
+
+def transitivity_undirected(graph: SocialDigraph) -> float:
+    """3 * triangles / connected triads on the undirected projection.
+
+    Paper: T(G) = 0.80 — "the extent that a friend k of a friend j is
+    also a friend of i".
+    """
+    adj = graph.undirected_adjacency()
+    triangles = 0
+    triads = 0
+    for node, neighbours in adj.items():
+        d = len(neighbours)
+        triads += d * (d - 1) // 2
+        ordered = sorted(neighbours, key=repr)
+        for i, a in enumerate(ordered):
+            for b in ordered[i + 1 :]:
+                if b in adj[a]:
+                    triangles += 1
+    # Each triangle is counted once per corner = 3 times total.
+    if triads == 0:
+        return 0.0
+    return triangles / triads
+
+
+def reciprocity(graph: SocialDigraph) -> float:
+    """Fraction of directed edges whose reverse edge also exists."""
+    m = graph.edge_count
+    if m == 0:
+        return 0.0
+    mutual = sum(1 for i, j in graph.edges() if graph.has_edge(j, i))
+    return mutual / m
+
+
+def degree_summary(graph: SocialDigraph) -> Dict[str, float]:
+    """Min/mean/max of in- and out-degrees (used in reports)."""
+    nodes = graph.nodes
+    if not nodes:
+        return {}
+    in_degrees = [graph.in_degree(n) for n in nodes]
+    out_degrees = [graph.out_degree(n) for n in nodes]
+    return {
+        "in_min": min(in_degrees),
+        "in_mean": sum(in_degrees) / len(in_degrees),
+        "in_max": max(in_degrees),
+        "out_min": min(out_degrees),
+        "out_mean": sum(out_degrees) / len(out_degrees),
+        "out_max": max(out_degrees),
+    }

@@ -1,0 +1,71 @@
+"""Append-only action log.
+
+Every user interaction is an :class:`Action` with a device-local sequence
+number.  The log is the source of truth for both dissemination (actions
+are what DTN routing spreads) and cloud sync (the sync queue replays the
+log suffix the cloud has not acknowledged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ActionKind(Enum):
+    POST = "post"
+    FOLLOW = "follow"
+    UNFOLLOW = "unfollow"
+
+
+@dataclass(frozen=True)
+class Action:
+    """One logged user action."""
+
+    seq: int
+    kind: ActionKind
+    actor: str
+    created_at: float
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class ActionLog:
+    """Monotonic, append-only log with O(1) append and indexed reads."""
+
+    def __init__(self) -> None:
+        self._actions: List[Action] = []
+
+    def append(self, kind: ActionKind, actor: str, created_at: float, **payload: Any) -> Action:
+        action = Action(
+            seq=len(self._actions) + 1,
+            kind=kind,
+            actor=actor,
+            created_at=created_at,
+            payload=dict(payload),
+        )
+        self._actions.append(action)
+        return action
+
+    def __len__(self) -> int:
+        return len(self._actions)
+
+    def __iter__(self) -> Iterator[Action]:
+        return iter(self._actions)
+
+    def since(self, seq: int) -> List[Action]:
+        """Actions with sequence numbers greater than ``seq``."""
+        if seq < 0:
+            raise ValueError(f"negative sequence {seq}")
+        return self._actions[seq:]
+
+    def last_seq(self) -> int:
+        return len(self._actions)
+
+    def of_kind(self, kind: ActionKind) -> List[Action]:
+        return [a for a in self._actions if a.kind is kind]
+
+    def get(self, seq: int) -> Optional[Action]:
+        if 1 <= seq <= len(self._actions):
+            return self._actions[seq - 1]
+        return None

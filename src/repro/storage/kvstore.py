@@ -1,0 +1,78 @@
+"""A small key-value store with snapshot/rollback semantics.
+
+Holds app preferences (selected routing protocol, notification settings)
+and middleware runtime state.  ``transaction()`` gives all-or-nothing
+multi-key updates, mirroring what a mobile app gets from SQLite.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional
+
+
+class KeyValueStore:
+    """In-memory KV store with namespacing and transactions."""
+
+    def __init__(self) -> None:
+        self._data: Dict[str, Any] = {}
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._data.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        if not key:
+            raise ValueError("empty key")
+        self._data[key] = value
+
+    def delete(self, key: str) -> None:
+        self._data.pop(key, None)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def keys_with_prefix(self, prefix: str) -> list:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    @contextmanager
+    def transaction(self) -> Iterator["KeyValueStore"]:
+        """All-or-nothing update block::
+
+            with store.transaction() as txn:
+                txn.put("a", 1)
+                txn.put("b", 2)   # an exception here rolls back "a" too
+        """
+        snapshot = dict(self._data)
+        try:
+            yield self
+        except Exception:
+            self._data = snapshot
+            raise
+
+    def namespace(self, prefix: str) -> "NamespacedView":
+        return NamespacedView(self, prefix)
+
+
+class NamespacedView:
+    """A prefixed view over a parent store (no copying)."""
+
+    def __init__(self, parent: KeyValueStore, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("empty namespace prefix")
+        self._parent = parent
+        self._prefix = prefix if prefix.endswith(":") else prefix + ":"
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._parent.get(self._prefix + key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        self._parent.put(self._prefix + key, value)
+
+    def delete(self, key: str) -> None:
+        self._parent.delete(self._prefix + key)
+
+    def __contains__(self, key: str) -> bool:
+        return (self._prefix + key) in self._parent

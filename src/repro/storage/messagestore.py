@@ -1,0 +1,144 @@
+"""Per-author message store.
+
+Messages in AlleyOop are identified by ``(author_user_id, message_number)``
+with numbers assigned 1, 2, 3, ... by the author's own device (paper §V-A:
+the advertisement dictionary maps each UserID to "the latest MessageNumber
+that the advertising device has for the particular UserID").
+
+The store therefore tracks, per author:
+
+* the set of stored message numbers (copies received out of order leave
+  gaps),
+* the advertised high-water mark (the *latest* number held, per the
+  paper — a browsing peer then requests what it is missing),
+* the byte budget used, so routing protocols can enforce buffer limits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class StoredMessage:
+    """One message copy held by a device (own or forwarded).
+
+    ``hops`` counts D2D transfers from the author's device to this copy:
+    0 on the author's own device, 1 on a direct recipient, etc.  The
+    evaluation splits results into "1-hop" and "All" using this field
+    (paper Fig. 4c/4d).
+    """
+
+    author_id: str
+    number: int
+    created_at: float
+    body: bytes
+    signature: bytes
+    author_cert: bytes
+    hops: int = 0
+    received_at: Optional[float] = None
+
+    @property
+    def key(self) -> tuple:
+        return (self.author_id, self.number)
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.body) + len(self.signature) + len(self.author_cert) + 64
+
+    def forwarded_copy(self, received_at: float) -> "StoredMessage":
+        """The copy a receiving device stores: one hop further out."""
+        return StoredMessage(
+            author_id=self.author_id,
+            number=self.number,
+            created_at=self.created_at,
+            body=self.body,
+            signature=self.signature,
+            author_cert=self.author_cert,
+            hops=self.hops + 1,
+            received_at=received_at,
+        )
+
+
+class MessageStore:
+    """All message copies a device holds, indexed by author."""
+
+    def __init__(self, capacity_bytes: Optional[int] = None) -> None:
+        self._by_author: Dict[str, Dict[int, StoredMessage]] = {}
+        self.capacity_bytes = capacity_bytes
+        self.used_bytes = 0
+        self.evicted = 0
+
+    # -- writes -------------------------------------------------------------
+    def add(self, message: StoredMessage) -> bool:
+        """Store a message copy.  Returns False for duplicates.
+
+        When a capacity is set and exceeded, the oldest *forwarded* copies
+        are evicted first (a device never evicts its own messages).
+        """
+        per_author = self._by_author.setdefault(message.author_id, {})
+        if message.number in per_author:
+            return False
+        per_author[message.number] = message
+        self.used_bytes += message.size_bytes
+        if self.capacity_bytes is not None:
+            self._evict_to_capacity()
+        return True
+
+    def _evict_to_capacity(self) -> None:
+        if self.used_bytes <= self.capacity_bytes:
+            return
+        # Oldest forwarded copies go first (hops > 0), then nothing: a
+        # store holding only own messages is allowed to exceed capacity.
+        candidates = sorted(
+            (m for m in self.all_messages() if m.hops > 0),
+            key=lambda m: (m.received_at if m.received_at is not None else m.created_at),
+        )
+        for message in candidates:
+            if self.used_bytes <= self.capacity_bytes:
+                break
+            del self._by_author[message.author_id][message.number]
+            self.used_bytes -= message.size_bytes
+            self.evicted += 1
+
+    # -- reads ----------------------------------------------------------------
+    def get(self, author_id: str, number: int) -> Optional[StoredMessage]:
+        return self._by_author.get(author_id, {}).get(number)
+
+    def has(self, author_id: str, number: int) -> bool:
+        return number in self._by_author.get(author_id, {})
+
+    def highest_number(self, author_id: str) -> int:
+        """The advertised high-water mark for ``author_id`` (0 if none)."""
+        per_author = self._by_author.get(author_id)
+        return max(per_author) if per_author else 0
+
+    def numbers_for(self, author_id: str) -> List[int]:
+        return sorted(self._by_author.get(author_id, ()))
+
+    def missing_below(self, author_id: str, up_to: int) -> List[int]:
+        """Numbers in [1, up_to] this device lacks — what to request when a
+        peer advertises ``up_to`` for this author."""
+        held = self._by_author.get(author_id, {})
+        return [n for n in range(1, up_to + 1) if n not in held]
+
+    def messages_for(self, author_id: str, numbers: List[int]) -> List[StoredMessage]:
+        per_author = self._by_author.get(author_id, {})
+        return [per_author[n] for n in numbers if n in per_author]
+
+    def authors(self) -> List[str]:
+        return sorted(a for a, msgs in self._by_author.items() if msgs)
+
+    def all_messages(self) -> List[StoredMessage]:
+        out = []
+        for per_author in self._by_author.values():
+            out.extend(per_author.values())
+        return out
+
+    def advertisement_marks(self) -> Dict[str, int]:
+        """``{author_id: highest_number}`` — the §V-A discovery dictionary."""
+        return {a: max(msgs) for a, msgs in self._by_author.items() if msgs}
+
+    def __len__(self) -> int:
+        return sum(len(m) for m in self._by_author.values())

@@ -1,0 +1,56 @@
+"""Cloud synchronisation queue.
+
+Paper §V: actions are saved locally, then synchronised "with the cloud
+when the Internet becomes available".  The queue tracks the acknowledged
+log prefix and replays the unacknowledged suffix on each sync opportunity,
+giving at-least-once delivery with idempotent (seq-keyed) application at
+the cloud side.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.storage.actionlog import Action, ActionLog
+
+
+class SyncQueue:
+    """Replays unacknowledged actions to a cloud uplink when online."""
+
+    def __init__(self, log: ActionLog) -> None:
+        self._log = log
+        self._acked_seq = 0
+        self.sync_count = 0
+
+    @property
+    def pending(self) -> List[Action]:
+        return self._log.since(self._acked_seq)
+
+    @property
+    def pending_count(self) -> int:
+        return self._log.last_seq() - self._acked_seq
+
+    @property
+    def acked_seq(self) -> int:
+        return self._acked_seq
+
+    def sync(self, uplink: Callable[[List[Action]], int]) -> int:
+        """Push pending actions through ``uplink``.
+
+        ``uplink`` receives the pending batch and returns the highest
+        sequence number durably accepted (it may accept a prefix).
+        Returns the number of actions newly acknowledged.
+        """
+        batch = self.pending
+        if not batch:
+            return 0
+        accepted = uplink(batch)
+        if accepted < self._acked_seq or accepted > self._log.last_seq():
+            raise ValueError(
+                f"uplink acknowledged {accepted}, valid range is "
+                f"[{self._acked_seq}, {self._log.last_seq()}]"
+            )
+        newly = accepted - self._acked_seq
+        self._acked_seq = accepted
+        self.sync_count += 1
+        return newly

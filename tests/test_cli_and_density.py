@@ -1,0 +1,85 @@
+"""Tests for the CLI and the density sweep."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import DensitySweep, ScenarioConfig
+
+
+class TestCli:
+    def test_protocols_command(self, capsys):
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        assert "interest" in out and "epidemic" in out and "bubble" in out
+
+    def test_study_command_small(self, capsys):
+        assert main(["study", "--days", "1", "--posts", "10", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "density_directed" in out
+        assert "one_hop_fraction" in out
+
+    def test_study_with_map_and_cdf(self, capsys):
+        assert main([
+            "study", "--days", "1", "--posts", "10", "--seed", "3",
+            "--map", "--cdf",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4b overlay" in out
+        assert "delay CDF" in out
+
+    def test_compare_command_subset(self, capsys):
+        assert main([
+            "compare", "--days", "1", "--posts", "10", "--seed", "3",
+            "--only", "interest,direct",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "interest" in out and "direct" in out
+
+    def test_density_command(self, capsys):
+        assert main([
+            "density", "--days", "1", "--posts", "10", "--seed", "3",
+            "--populations", "6,10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "users/km^2" in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_protocol_surfaces(self):
+        with pytest.raises(KeyError):
+            main(["study", "--days", "1", "--posts", "5", "--protocol", "warp"])
+
+
+class TestDensitySweep:
+    def test_sweep_runs_and_reports(self):
+        sweep = DensitySweep(
+            base_config=ScenarioConfig(seed=5, duration_days=1, total_posts=12),
+            populations=(6, 10),
+        )
+        points = sweep.run()
+        assert [p.num_users for p in points] == [6, 10]
+        assert all(p.area_km2 == 88.0 for p in points)
+        assert points[0].density_per_km2 < points[1].density_per_km2
+        report = sweep.report()
+        assert "users/km^2" in report
+
+    def test_contacts_scale_with_density(self):
+        """More users in the same area -> more contact opportunities (the
+        paper's hypothesis behind the 'higher densities' call)."""
+        sweep = DensitySweep(
+            base_config=ScenarioConfig(seed=6, duration_days=1, total_posts=10),
+            populations=(6, 14),
+        )
+        points = sweep.run()
+        assert points[1].contacts >= points[0].contacts
+
+    def test_meetup_scaling_can_be_disabled(self):
+        sweep = DensitySweep(
+            base_config=ScenarioConfig(seed=7, duration_days=1, total_posts=5),
+            populations=(6,),
+            scale_meetups_with_population=False,
+        )
+        config = sweep._config_for(6)
+        assert config.meetups_per_day == sweep.base_config.meetups_per_day

@@ -1,0 +1,185 @@
+"""Integration tests of the SOS middleware stack (adhoc + message manager
++ routing) over the simulated MPC and radio substrates."""
+
+import pytest
+
+from repro.core.config import SosConfig
+from repro.core.errors import NotSignedUpError
+from repro.crypto.drbg import HmacDrbg
+from repro.core.middleware import SOSMiddleware
+from repro.geo.point import Point
+from repro.pki.keystore import KeyStore
+from tests.worldutil import World
+
+
+@pytest.fixture()
+def world(ca, keypair_pool):
+    return World(ca, keypair_pool)
+
+
+def two_users(world):
+    alice = world.add_user("alice")
+    bob = world.add_user("bob")
+    bob.follow(alice.user_id)
+    world.start()
+    return alice, bob
+
+
+class TestDelivery:
+    def test_post_reaches_subscriber(self, world):
+        alice, bob = two_users(world)
+        alice.post("hello")
+        world.run(120.0)
+        assert [e.post.text for e in bob.timeline()] == ["hello"]
+        assert bob.timeline()[0].hops == 1
+
+    def test_multiple_posts_in_order(self, world):
+        alice, bob = two_users(world)
+        for i in range(4):
+            alice.post(f"post {i}")
+            world.run(world.sim.now + 60.0)
+        numbers = sorted(e.number for e in bob.timeline())
+        assert numbers == [1, 2, 3, 4]
+
+    def test_non_subscriber_gets_nothing_with_ib(self, world):
+        alice = world.add_user("alice")
+        carol = world.add_user("carol")  # does not follow alice
+        world.start()
+        alice.post("private-ish")
+        world.run(120.0)
+        assert carol.timeline() == []
+        assert len(carol.sos.store) == 0
+
+    def test_epidemic_carries_even_without_interest(self, world):
+        config = SosConfig(routing_protocol="epidemic", relay_request_grace=0.0)
+        alice = world.add_user("alice", config=config)
+        carol = world.add_user("carol", config=config)
+        world.start()
+        alice.post("spread me")
+        world.run(120.0)
+        # Carol stores (forwards) it but her feed stays empty.
+        assert len(carol.sos.store) == 1
+        assert carol.timeline() == []
+
+    def test_two_hop_relay_through_common_subscriber(self, world, ca, keypair_pool):
+        # alice at x=100, bob at x=140 (in range of both), carol at x=180
+        # (out of alice's 60 m range but within bob's).
+        alice = world.add_user("alice", position=Point(100, 100))
+        bob = world.add_user("bob", position=Point(145, 100))
+        carol = world.add_user("carol", position=Point(190, 100))
+        bob.follow(alice.user_id)
+        carol.follow(alice.user_id)
+        world.start()
+        alice.post("multi-hop")
+        world.run(600.0)
+        assert [e.hops for e in bob.timeline()] == [1]
+        assert [e.hops for e in carol.timeline()] == [2]
+
+    def test_store_and_forward_across_disconnection(self, world):
+        """The DTN property: bob collects from alice, later meets carol."""
+        from repro.mobility.base import MobilityModel
+
+        class Ferry(MobilityModel):
+            def position_at(self, now):
+                # Near alice until t=300, then near carol.
+                return Point(120, 100) if now < 300 else Point(480, 100)
+
+        alice = world.add_user("alice", position=Point(100, 100))
+        bob = world.add_user("bob", mobility=Ferry())
+        carol = world.add_user("carol", position=Point(500, 100))
+        bob.follow(alice.user_id)
+        carol.follow(alice.user_id)
+        world.start()
+        alice.post("carried message")
+        world.run(900.0)
+        assert [e.hops for e in carol.timeline()] == [2]
+        delay = carol.timeline()[0].delay
+        assert delay > 250.0  # had to wait for the ferry
+
+
+class TestSurroundingUsers:
+    def test_discovery_notification(self, world):
+        alice, bob = two_users(world)
+        world.run(60.0)
+        assert alice.user_id in bob.sos.surrounding_users()
+        assert any("nearby" in n for n in bob.notifications)
+
+    def test_verified_users_after_handshake(self, world):
+        alice, bob = two_users(world)
+        alice.post("x")
+        world.run(120.0)
+        assert alice.user_id in bob.sos.verified_users()
+
+
+class TestProtocolToggle:
+    def test_runtime_toggle_preserves_store(self, world):
+        alice, bob = two_users(world)
+        alice.post("first")
+        world.run(120.0)
+        bob.select_routing("epidemic")
+        assert bob.sos.protocol_name == "epidemic"
+        alice.post("second")
+        world.run(240.0)
+        assert sorted(e.post.text for e in bob.timeline()) == ["first", "second"]
+
+    def test_unknown_protocol_rejected(self, world):
+        alice = world.add_user("alice")
+        with pytest.raises(KeyError):
+            alice.select_routing("teleport")
+
+    def test_available_protocols(self, world):
+        alice = world.add_user("alice")
+        names = alice.sos.available_protocols()
+        assert {"epidemic", "interest", "direct", "first_contact", "spray_wait", "prophet"} <= set(names)
+
+
+class TestMessageNumbers:
+    def test_numbers_increment_from_one(self, world):
+        alice = world.add_user("alice")
+        world.start()
+        m1 = alice.post("a")
+        m2 = alice.post("b")
+        assert (m1.number, m2.number) == (1, 2)
+
+    def test_advertisement_reflects_highest(self, world):
+        alice, bob = two_users(world)
+        alice.post("a")
+        alice.post("b")
+        world.run(60.0)
+        advert = bob.sos.adhoc.advert_of(alice.user_id)
+        assert advert.get(alice.user_id) == 2
+
+
+class TestProvisioningGuards:
+    def test_unprovisioned_keystore_rejected(self, world):
+        with pytest.raises(NotSignedUpError):
+            SOSMiddleware(
+                sim=world.sim,
+                framework=world.framework,
+                device_id="dev-x",
+                user_id="u999999999",
+                keystore=KeyStore(),
+                rng=HmacDrbg.from_int(1),
+            )
+
+
+class TestTransferBookkeeping:
+    def test_untransferred_recorded_on_link_drop(self, world):
+        """Paper §III-C: the message manager knows what messages were not
+        transferred when a connection is lost."""
+        from repro.mobility.base import MobilityModel
+
+        class Leaver(MobilityModel):
+            def position_at(self, now):
+                return Point(140, 100) if now < 50 else Point(5000, 5000)
+
+        alice = world.add_user("alice", position=Point(100, 100))
+        bob = world.add_user("bob", mobility=Leaver())
+        bob.follow(alice.user_id)
+        world.start()
+        world.run(40.0)  # connection established
+        # Huge payload cannot finish before bob leaves at t=50.
+        alice.post("x" * 6000)
+        world.run(300.0)
+        if bob.timeline() == []:  # transfer really was cut
+            assert alice.sos.messages.untransferred

@@ -1,0 +1,160 @@
+"""Tests for the SOS wire protocol and advertisements."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.advertisement import (
+    AdvertisementError,
+    build_advertisement,
+    interesting_entries,
+    parse_advertisement,
+    validate_user_id,
+)
+from repro.core.wire import PacketKind, SosPacket, WireError, canonical_message_bytes
+from repro.storage.messagestore import StoredMessage
+
+UID = "u000000001"
+UID2 = "u000000002"
+
+
+def sample_message():
+    return StoredMessage(
+        author_id=UID,
+        number=7,
+        created_at=123.5,
+        body=b"hello world",
+        signature=b"\x01" * 128,
+        author_cert=b"\x02" * 64,
+        hops=2,
+    )
+
+
+class TestPacketEncoding:
+    def test_cert_roundtrip(self):
+        packet = SosPacket.cert(UID, b"certificate-bytes", forwarded=True)
+        decoded = SosPacket.decode(packet.encode())
+        assert decoded.kind is PacketKind.CERT
+        assert decoded.sender == UID
+        assert decoded.fields["certificate"] == b"certificate-bytes"
+        assert decoded.fields["forwarded"] is True
+
+    def test_request_roundtrip(self):
+        packet = SosPacket.request(UID, UID2, [1, 5, 9])
+        decoded = SosPacket.decode(packet.encode())
+        assert decoded.kind is PacketKind.REQUEST
+        assert decoded.fields["author_id"] == UID2
+        assert decoded.fields["numbers"] == [1, 5, 9]
+
+    def test_data_roundtrip(self):
+        packet = SosPacket.data(UID2, sample_message())
+        decoded = SosPacket.decode(packet.encode())
+        message = decoded.fields["message"]
+        assert message.author_id == UID
+        assert message.number == 7
+        assert message.created_at == 123.5
+        assert message.body == b"hello world"
+        assert message.hops == 2
+
+    def test_control_roundtrip(self):
+        packet = SosPacket.control(UID, "prophet", b"\x00\x01payload")
+        decoded = SosPacket.decode(packet.encode())
+        assert decoded.fields["protocol"] == "prophet"
+        assert decoded.fields["payload"] == b"\x00\x01payload"
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(WireError):
+            SosPacket.decode(b"")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(WireError):
+            SosPacket.decode(b"\xff" + b"rest")
+
+    def test_truncated_frame_rejected(self):
+        encoded = SosPacket.request(UID, UID2, [1, 2, 3]).encode()
+        with pytest.raises(WireError):
+            SosPacket.decode(encoded[:10])
+
+    def test_absurd_request_count_rejected(self):
+        # Craft a request header claiming 2**30 numbers.
+        good = SosPacket.request(UID, UID2, [1]).encode()
+        # count field sits right after the author string
+        idx = good.rfind((1).to_bytes(4, "big") + (1).to_bytes(4, "big"))
+        bad = good[:idx] + (2**30).to_bytes(4, "big") + good[idx + 4 :]
+        with pytest.raises(WireError):
+            SosPacket.decode(bad)
+
+    @given(st.binary(max_size=200), st.integers(1, 1000), st.integers(0, 100))
+    @settings(max_examples=50)
+    def test_data_roundtrip_property(self, body, number, hops):
+        message = StoredMessage(
+            author_id=UID, number=number, created_at=1.0, body=body,
+            signature=b"s", author_cert=b"c", hops=hops,
+        )
+        decoded = SosPacket.decode(SosPacket.data(UID, message).encode())
+        got = decoded.fields["message"]
+        assert (got.body, got.number, got.hops) == (body, number, hops)
+
+
+class TestCanonicalBytes:
+    def test_deterministic(self):
+        a = canonical_message_bytes(UID, 1, 5.0, b"body")
+        b = canonical_message_bytes(UID, 1, 5.0, b"body")
+        assert a == b
+
+    def test_sensitive_to_every_field(self):
+        base = canonical_message_bytes(UID, 1, 5.0, b"body")
+        assert canonical_message_bytes(UID2, 1, 5.0, b"body") != base
+        assert canonical_message_bytes(UID, 2, 5.0, b"body") != base
+        assert canonical_message_bytes(UID, 1, 6.0, b"body") != base
+        assert canonical_message_bytes(UID, 1, 5.0, b"bodz") != base
+
+
+class TestUserIdValidation:
+    def test_exactly_ten_bytes_required(self):
+        assert validate_user_id("u000000001") == "u000000001"
+        with pytest.raises(AdvertisementError):
+            validate_user_id("short")
+        with pytest.raises(AdvertisementError):
+            validate_user_id("u0000000012")
+
+    def test_multibyte_utf8_counted_in_bytes(self):
+        # é is 2 bytes in UTF-8: 9 ASCII chars + one é = 11 bytes -> invalid;
+        # 8 ASCII chars + one é = 10 bytes -> valid.
+        assert validate_user_id("util-usé1") == "util-usé1"
+        with pytest.raises(AdvertisementError):
+            validate_user_id("é" * 10)  # 20 bytes
+
+
+class TestAdvertisements:
+    def test_build_and_parse_roundtrip(self):
+        marks = {UID: 3, UID2: 10}
+        info = build_advertisement(marks)
+        assert parse_advertisement(info) == marks
+
+    def test_limit_keeps_freshest(self):
+        marks = {f"u{i:09d}": i + 1 for i in range(10)}
+        info = build_advertisement(marks, limit=3)
+        parsed = parse_advertisement(info)
+        assert len(parsed) == 3
+        assert min(parsed.values()) == 8  # the three highest numbers win
+
+    def test_zero_number_rejected_on_build(self):
+        with pytest.raises(AdvertisementError):
+            build_advertisement({UID: 0})
+
+    def test_parse_drops_malformed_entries(self):
+        info = {UID: "5", "bad": "7", UID2: "not-a-number", "u000000009": "-3"}
+        assert parse_advertisement(info) == {UID: 5}
+
+    def test_interesting_entries_filters_known(self):
+        advert = {UID: 5, UID2: 2}
+        own = {UID: 5, UID2: 1}
+        assert interesting_entries(advert, own) == {UID2: 2}
+
+    def test_interesting_entries_respects_interests(self):
+        advert = {UID: 5, UID2: 5}
+        assert interesting_entries(advert, {}, interests=frozenset([UID])) == {UID: 5}
+
+    def test_interesting_entries_empty_when_uptodate(self):
+        advert = {UID: 5}
+        assert interesting_entries(advert, {UID: 9}) == {}

@@ -1,0 +1,118 @@
+"""Tests for HKDF and the HMAC-DRBG."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import HmacDrbg, SystemRandomSource
+from repro.crypto.hashes import constant_time_equal, fingerprint, sha256, sha256_hex
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+
+
+class TestHkdfRfc5869:
+    """RFC 5869 Appendix A test case 1 (SHA-256)."""
+
+    def test_case_1(self):
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk.hex() == (
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm.hex() == (
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_empty_salt_defaults(self):
+        assert hkdf(b"ikm", salt=b"", info=b"x", length=32) == hkdf(
+            b"ikm", salt=b"\x00" * 32, info=b"x", length=32
+        )
+
+
+class TestHkdfProperties:
+    @given(st.binary(min_size=1, max_size=64), st.binary(max_size=32))
+    @settings(max_examples=100)
+    def test_deterministic(self, ikm, info):
+        assert hkdf(ikm, info=info) == hkdf(ikm, info=info)
+
+    def test_info_separates_keys(self):
+        master = b"m" * 32
+        assert hkdf(master, info=b"enc") != hkdf(master, info=b"mac")
+
+    def test_invalid_lengths(self):
+        with pytest.raises(ValueError):
+            hkdf_expand(b"p" * 32, b"", 0)
+        with pytest.raises(ValueError):
+            hkdf_expand(b"p" * 32, b"", 255 * 32 + 1)
+
+    def test_long_output(self):
+        out = hkdf(b"ikm", length=1000)
+        assert len(out) == 1000
+
+
+class TestHmacDrbg:
+    def test_deterministic(self):
+        assert HmacDrbg.from_int(1).read(64) == HmacDrbg.from_int(1).read(64)
+
+    def test_seeds_separate(self):
+        assert HmacDrbg.from_int(1).read(32) != HmacDrbg.from_int(2).read(32)
+
+    def test_sequential_reads_differ(self):
+        drbg = HmacDrbg.from_int(3)
+        assert drbg.read(32) != drbg.read(32)
+
+    def test_reseed_changes_stream(self):
+        a = HmacDrbg.from_int(4)
+        b = HmacDrbg.from_int(4)
+        b.reseed(b"fresh")
+        assert a.read(32) != b.read(32)
+
+    def test_read_int_bit_length(self):
+        drbg = HmacDrbg.from_int(5)
+        for bits in (8, 64, 256):
+            value = drbg.read_int(bits)
+            assert value.bit_length() == bits
+
+    def test_read_int_below_bounds(self):
+        drbg = HmacDrbg.from_int(6)
+        for _ in range(200):
+            assert 0 <= drbg.read_int_below(17) < 17
+
+    def test_read_int_below_invalid(self):
+        with pytest.raises(ValueError):
+            HmacDrbg.from_int(1).read_int_below(0)
+
+    def test_empty_seed_rejected(self):
+        with pytest.raises(ValueError):
+            HmacDrbg(b"")
+
+    def test_zero_read(self):
+        assert HmacDrbg.from_int(1).read(0) == b""
+
+    def test_system_source_length(self):
+        assert len(SystemRandomSource().read(16)) == 16
+
+
+class TestHashes:
+    def test_sha256_known_vector(self):
+        assert sha256_hex(b"abc") == (
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        )
+        assert sha256(b"abc").hex() == sha256_hex(b"abc")
+
+    def test_constant_time_equal(self):
+        assert constant_time_equal(b"same", b"same")
+        assert not constant_time_equal(b"same", b"diff")
+        assert not constant_time_equal(b"same", b"samelonger")
+
+    def test_fingerprint_length(self):
+        assert len(fingerprint(b"data", length=8)) == 16
+
+    def test_fingerprint_bounds(self):
+        with pytest.raises(ValueError):
+            fingerprint(b"data", length=0)
+        with pytest.raises(ValueError):
+            fingerprint(b"data", length=33)

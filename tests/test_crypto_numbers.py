@@ -1,0 +1,106 @@
+"""Tests for big-integer number theory."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.numbers import (
+    bytes_to_int,
+    egcd,
+    generate_prime,
+    int_to_bytes,
+    is_probable_prime,
+    modinv,
+)
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1, 2**61 - 1]
+KNOWN_COMPOSITES = [1, 4, 100, 561, 1105, 6601, 8911, 2**31, 7919 * 104729]
+# Carmichael numbers (561, 1105, 6601, 8911) defeat Fermat tests but not
+# Miller-Rabin.
+
+
+class TestPrimality:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites_including_carmichael(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_and_zero(self):
+        assert not is_probable_prime(0)
+        assert not is_probable_prime(-7)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime (needs random witnesses).
+        assert is_probable_prime(2**127 - 1, rng=HmacDrbg.from_int(1))
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2**127 - 1) * (2**61 - 1), rng=HmacDrbg.from_int(1))
+
+
+class TestGeneratePrime:
+    def test_exact_bit_length(self):
+        rng = HmacDrbg.from_int(5)
+        for bits in (64, 128, 256):
+            p = generate_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_probable_prime(p, rng=rng)
+
+    def test_oddness(self):
+        rng = HmacDrbg.from_int(6)
+        assert generate_prime(64, rng) % 2 == 1
+
+    def test_tiny_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            generate_prime(8, HmacDrbg.from_int(1))
+
+    def test_deterministic_given_seed(self):
+        assert generate_prime(64, HmacDrbg.from_int(9)) == generate_prime(
+            64, HmacDrbg.from_int(9)
+        )
+
+
+class TestModularArithmetic:
+    @given(st.integers(1, 10**9), st.integers(1, 10**9))
+    @settings(max_examples=200)
+    def test_egcd_invariant(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    @given(st.integers(2, 10**6))
+    @settings(max_examples=200)
+    def test_modinv_roundtrip(self, m):
+        # pick an a coprime to m
+        a = 1
+        for candidate in range(2, m):
+            g, _, _ = egcd(candidate, m)
+            if g == 1:
+                a = candidate
+                break
+        inv = modinv(a, m)
+        assert (a * inv) % m == 1
+
+    def test_modinv_non_coprime_raises(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+
+class TestByteEncoding:
+    @given(st.integers(0, 2**256 - 1))
+    @settings(max_examples=200)
+    def test_roundtrip(self, n):
+        assert bytes_to_int(int_to_bytes(n)) == n
+
+    def test_fixed_length_padding(self):
+        assert int_to_bytes(1, 4) == b"\x00\x00\x00\x01"
+
+    def test_overflowing_length_raises(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(2**32, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            int_to_bytes(-1)

@@ -1,0 +1,170 @@
+"""Tests for RSA keygen, signatures, OAEP and the hybrid envelope."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.numbers import is_probable_prime
+from repro.crypto.rsa import (
+    RsaPublicKey,
+    generate_keypair,
+    hybrid_decrypt,
+    hybrid_encrypt,
+)
+
+
+@pytest.fixture(scope="module")
+def keypair():
+    return generate_keypair(1024, rng=HmacDrbg.from_int(777))
+
+
+@pytest.fixture(scope="module")
+def other_keypair():
+    return generate_keypair(1024, rng=HmacDrbg.from_int(778))
+
+
+class TestKeyGeneration:
+    def test_modulus_bit_length(self, keypair):
+        assert keypair.public.n.bit_length() == 1024
+
+    def test_factors_are_prime(self, keypair):
+        private = keypair.private
+        rng = HmacDrbg.from_int(1)
+        assert is_probable_prime(private.p, rng=rng)
+        assert is_probable_prime(private.q, rng=rng)
+        assert private.p * private.q == private.n
+
+    def test_d_inverts_e(self, keypair):
+        private = keypair.private
+        phi = (private.p - 1) * (private.q - 1)
+        assert (private.d * private.e) % phi == 1
+
+    def test_deterministic_from_seed(self):
+        a = generate_keypair(512, rng=HmacDrbg.from_int(5))
+        b = generate_keypair(512, rng=HmacDrbg.from_int(5))
+        assert a.public == b.public
+
+    def test_odd_bits_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(1023)
+
+    def test_tiny_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            generate_keypair(256)
+
+
+class TestSignatures:
+    def test_sign_verify_roundtrip(self, keypair):
+        sig = keypair.private.sign(b"message")
+        assert keypair.public.verify(b"message", sig)
+
+    def test_modified_message_fails(self, keypair):
+        sig = keypair.private.sign(b"message")
+        assert not keypair.public.verify(b"messagX", sig)
+
+    def test_wrong_key_fails(self, keypair, other_keypair):
+        sig = keypair.private.sign(b"message")
+        assert not other_keypair.public.verify(b"message", sig)
+
+    def test_truncated_signature_fails(self, keypair):
+        sig = keypair.private.sign(b"message")
+        assert not keypair.public.verify(b"message", sig[:-1])
+
+    def test_garbage_signature_fails_without_raising(self, keypair):
+        assert not keypair.public.verify(b"message", b"\xff" * keypair.public.byte_size)
+
+    def test_empty_message_signable(self, keypair):
+        assert keypair.public.verify(b"", keypair.private.sign(b""))
+
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_arbitrary_messages(self, keypair, data):
+        assert keypair.public.verify(data, keypair.private.sign(data))
+
+
+class TestOaep:
+    def test_roundtrip(self, keypair):
+        rng = HmacDrbg.from_int(1)
+        ct = keypair.public.encrypt(b"short secret", rng=rng)
+        assert keypair.private.decrypt(ct) == b"short secret"
+
+    def test_max_length_plaintext(self, keypair):
+        rng = HmacDrbg.from_int(2)
+        max_len = keypair.public.byte_size - 2 * 32 - 2
+        data = b"\xaa" * max_len
+        assert keypair.private.decrypt(keypair.public.encrypt(data, rng=rng)) == data
+
+    def test_too_long_plaintext_rejected(self, keypair):
+        max_len = keypair.public.byte_size - 2 * 32 - 2
+        with pytest.raises(ValueError):
+            keypair.public.encrypt(b"\xaa" * (max_len + 1))
+
+    def test_tampered_ciphertext_rejected(self, keypair):
+        ct = bytearray(keypair.public.encrypt(b"secret", rng=HmacDrbg.from_int(3)))
+        ct[-1] ^= 1
+        with pytest.raises(ValueError):
+            keypair.private.decrypt(bytes(ct))
+
+    def test_randomised_encryption(self, keypair):
+        rng = HmacDrbg.from_int(4)
+        assert keypair.public.encrypt(b"x", rng=rng) != keypair.public.encrypt(b"x", rng=rng)
+
+
+class TestHybridEnvelope:
+    def test_roundtrip_large_payload(self, keypair):
+        rng = HmacDrbg.from_int(10)
+        payload = bytes(range(256)) * 64  # 16 KiB
+        envelope = hybrid_encrypt(keypair.public, payload, rng=rng)
+        assert hybrid_decrypt(keypair.private, envelope) == payload
+
+    def test_aad_binding(self, keypair):
+        rng = HmacDrbg.from_int(11)
+        envelope = hybrid_encrypt(keypair.public, b"data", rng=rng, aad=b"alice")
+        assert hybrid_decrypt(keypair.private, envelope, aad=b"alice") == b"data"
+        with pytest.raises(ValueError):
+            hybrid_decrypt(keypair.private, envelope, aad=b"mallory")
+
+    def test_ciphertext_tampering_detected(self, keypair):
+        rng = HmacDrbg.from_int(12)
+        envelope = bytearray(hybrid_encrypt(keypair.public, b"payload", rng=rng))
+        envelope[-40] ^= 1  # flip a ciphertext byte (before the MAC)
+        with pytest.raises(ValueError):
+            hybrid_decrypt(keypair.private, bytes(envelope))
+
+    def test_mac_tampering_detected(self, keypair):
+        rng = HmacDrbg.from_int(13)
+        envelope = bytearray(hybrid_encrypt(keypair.public, b"payload", rng=rng))
+        envelope[-1] ^= 1
+        with pytest.raises(ValueError):
+            hybrid_decrypt(keypair.private, bytes(envelope))
+
+    def test_wrong_recipient_cannot_open(self, keypair, other_keypair):
+        envelope = hybrid_encrypt(keypair.public, b"secret", rng=HmacDrbg.from_int(14))
+        with pytest.raises(ValueError):
+            hybrid_decrypt(other_keypair.private, envelope)
+
+    def test_truncated_envelope_rejected(self, keypair):
+        envelope = hybrid_encrypt(keypair.public, b"secret", rng=HmacDrbg.from_int(15))
+        with pytest.raises(ValueError):
+            hybrid_decrypt(keypair.private, envelope[:20])
+
+    def test_bad_magic_rejected(self, keypair):
+        envelope = hybrid_encrypt(keypair.public, b"secret", rng=HmacDrbg.from_int(16))
+        with pytest.raises(ValueError):
+            hybrid_decrypt(keypair.private, b"XXXX" + envelope[4:])
+
+    def test_empty_payload(self, keypair):
+        envelope = hybrid_encrypt(keypair.public, b"", rng=HmacDrbg.from_int(17))
+        assert hybrid_decrypt(keypair.private, envelope) == b""
+
+
+class TestPublicKeyEncoding:
+    def test_roundtrip(self, keypair):
+        encoded = keypair.public.to_bytes()
+        assert RsaPublicKey.from_bytes(encoded) == keypair.public
+
+    def test_fingerprint_stability(self, keypair):
+        assert keypair.public.fingerprint() == keypair.public.fingerprint()
+
+    def test_fingerprints_differ_between_keys(self, keypair, other_keypair):
+        assert keypair.public.fingerprint() != other_keypair.public.fingerprint()

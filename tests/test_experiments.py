@@ -1,0 +1,115 @@
+"""Integration tests of the experiment harness (scaled-down runs)."""
+
+import pytest
+
+from repro.experiments import GainesvilleStudy, ProtocolComparison, ScenarioConfig
+from repro.experiments.gainesville import PAPER_VALUES
+
+
+def small_config(**overrides):
+    defaults = dict(seed=11, duration_days=2, total_posts=30)
+    defaults.update(overrides)
+    return ScenarioConfig(**defaults)
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return GainesvilleStudy(small_config()).run()
+
+
+class TestGainesvilleStudy:
+    def test_social_graph_statistics_match_paper_exactly(self, small_result):
+        stats = small_result.social_stats
+        assert round(stats["density_directed"], 2) == 0.64
+        assert round(stats["avg_shortest_path"], 1) == 1.3
+        assert stats["diameter"] == 2
+        assert stats["radius"] == 1
+        assert round(stats["transitivity"], 2) == 0.80
+
+    def test_all_posts_created(self, small_result):
+        assert small_result.unique_messages == 30
+
+    def test_subscriptions_evaluated_is_46(self, small_result):
+        assert len(small_result.evaluated_subscriptions) == 46
+
+    def test_messages_disseminate(self, small_result):
+        assert small_result.disseminations > 0
+        assert small_result.delay.all_hops.n > 0
+
+    def test_one_hop_dominates(self, small_result):
+        assert small_result.one_hop_fraction and small_result.one_hop_fraction > 0.5
+
+    def test_overlay_collects_both_kinds(self, small_result):
+        overlay = small_result.overlay
+        assert overlay.points("created")
+        assert overlay.points("disseminated")
+        assert overlay.coverage_km2("created") > 0
+
+    def test_report_renders_every_paper_metric(self, small_result):
+        report = small_result.report()
+        for metric in PAPER_VALUES:
+            assert metric in report
+
+    def test_no_security_failures_among_honest_users(self, small_result):
+        assert small_result.security_stats.get("security_failures", 0) == 0
+
+    def test_cloud_off_after_signup(self):
+        study = GainesvilleStudy(small_config())
+        study.build()
+        assert study.cloud.online is False
+        assert study.cloud.stats["certificates_issued"] == 10
+
+    def test_determinism_same_seed(self):
+        a = GainesvilleStudy(small_config(seed=77)).run()
+        b = GainesvilleStudy(small_config(seed=77)).run()
+        assert a.disseminations == b.disseminations
+        assert a.delay.paper_points() == b.delay.paper_points()
+        assert a.delivery.paper_points() == b.delivery.paper_points()
+
+    def test_different_seeds_differ(self):
+        a = GainesvilleStudy(small_config(seed=77)).run()
+        b = GainesvilleStudy(small_config(seed=78)).run()
+        assert (
+            a.disseminations != b.disseminations
+            or a.delay.paper_points() != b.delay.paper_points()
+        )
+
+    def test_scaled_population(self):
+        config = ScenarioConfig(seed=5, num_users=6, duration_days=1, total_posts=8)
+        result = GainesvilleStudy(config).run()
+        assert result.unique_messages == 8
+        assert len(result.evaluated_subscriptions) > 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(num_users=1)
+        with pytest.raises(ValueError):
+            ScenarioConfig(duration_days=0)
+        with pytest.raises(ValueError):
+            ScenarioConfig(posting_hours=(25, 3))
+
+
+class TestProtocolComparison:
+    def test_compares_protocols_on_identical_world(self):
+        comparison = ProtocolComparison(
+            base_config=small_config(total_posts=20),
+            protocols=("interest", "epidemic", "direct"),
+        )
+        outcomes = comparison.run()
+        assert [o.protocol for o in outcomes] == ["interest", "epidemic", "direct"]
+        by_name = comparison.outcomes
+        # Epidemic replicates at least as much as IB; direct at most as much.
+        assert by_name["epidemic"].disseminations >= by_name["interest"].disseminations
+        assert by_name["direct"].disseminations <= by_name["interest"].disseminations
+        # Direct delivery is 1-hop by construction.
+        if by_name["direct"].one_hop_fraction is not None:
+            assert by_name["direct"].one_hop_fraction == 1.0
+
+    def test_report_renders(self):
+        comparison = ProtocolComparison(
+            base_config=small_config(total_posts=10),
+            protocols=("interest", "epidemic"),
+        )
+        comparison.run()
+        text = comparison.report()
+        assert "interest" in text and "epidemic" in text

@@ -1,0 +1,80 @@
+"""Tests for §V follow-action dissemination (subscription gossip)."""
+
+import pytest
+
+from repro.core.config import SosConfig
+from tests.worldutil import World
+
+
+@pytest.fixture()
+def world(ca, keypair_pool):
+    return World(ca, keypair_pool)
+
+
+def gossip_config(protocol="epidemic"):
+    return SosConfig(routing_protocol=protocol, relay_request_grace=0.0,
+                     gossip_follows=True)
+
+
+class TestFollowGossip:
+    def test_follow_action_disseminates(self, world):
+        alice = world.add_user("alice", config=gossip_config())
+        bob = world.add_user("bob", config=gossip_config())
+        carol = world.add_user("carol", config=gossip_config())
+        world.start()
+        # bob follows carol; the action is a system message epidemic
+        # carries to everyone in range.
+        bob.follow(carol.user_id)
+        world.run(120.0)
+        assert alice.social_map.get(carol.user_id) == {bob.user_id}
+
+    def test_unfollow_retracts(self, world):
+        alice = world.add_user("alice", config=gossip_config())
+        bob = world.add_user("bob", config=gossip_config())
+        carol = world.add_user("carol", config=gossip_config())
+        world.start()
+        bob.follow(carol.user_id)
+        world.run(120.0)
+        bob.unfollow(carol.user_id)
+        world.run(240.0)
+        assert alice.social_map.get(carol.user_id) == set()
+
+    def test_gossip_never_reaches_the_feed(self, world):
+        alice = world.add_user("alice", config=gossip_config())
+        bob = world.add_user("bob", config=gossip_config())
+        carol = world.add_user("carol", config=gossip_config())
+        # alice follows bob, so she'd see bob's regular posts...
+        alice.follow(bob.user_id)
+        world.start()
+        bob.follow(carol.user_id)  # ...but this is gossip, not content
+        world.run(120.0)
+        assert alice.timeline() == []
+
+    def test_gossip_off_by_default(self, world):
+        alice = world.add_user("alice")
+        bob = world.add_user("bob")
+        carol = world.add_user("carol")
+        world.start()
+        bob.follow(carol.user_id)
+        world.run(120.0)
+        assert alice.social_map == {}
+        assert bob.own_post_count() == 0  # no system message was created
+
+    def test_hints_reach_destination_aware_protocol(self, world):
+        alice = world.add_user("alice", config=gossip_config("bubble"))
+        bob = world.add_user("bob", config=gossip_config("bubble"))
+        carol = world.add_user("carol", config=gossip_config("bubble"))
+        world.start()
+        bob.follow(carol.user_id)
+        world.run(120.0)
+        hints = alice.sos.messages.protocol.subscriber_hints
+        assert hints.get(carol.user_id) == {bob.user_id}
+
+    def test_regular_posts_still_flow_with_gossip_on(self, world):
+        alice = world.add_user("alice", config=gossip_config())
+        bob = world.add_user("bob", config=gossip_config())
+        bob.follow(alice.user_id)
+        world.start()
+        alice.post("real content")
+        world.run(180.0)
+        assert [e.post.text for e in bob.timeline()] == ["real content"]

@@ -1,0 +1,143 @@
+"""Tests for geometry: points, regions, spatial index, places."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo import Place, PlaceKind, Point, Region, SpatialHashIndex, distance, midpoint
+from repro.geo.region import GAINESVILLE_AREA
+
+coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestPoint:
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == 5.0
+
+    @given(coords, coords, coords, coords)
+    @settings(max_examples=100)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert distance(a, b) == pytest.approx(distance(b, a))
+
+    def test_moved_towards_partial(self):
+        p = Point(0, 0).moved_towards(Point(10, 0), 4)
+        assert p == Point(4, 0)
+
+    def test_moved_towards_clamps_at_target(self):
+        assert Point(0, 0).moved_towards(Point(1, 0), 100) == Point(1, 0)
+
+    def test_moved_towards_zero_distance(self):
+        assert Point(2, 2).moved_towards(Point(2, 2), 5) == Point(2, 2)
+
+    def test_midpoint(self):
+        assert midpoint(Point(0, 0), Point(4, 6)) == Point(2, 3)
+
+
+class TestRegion:
+    def test_gainesville_area_matches_paper(self):
+        assert GAINESVILLE_AREA.width == 11_000
+        assert GAINESVILLE_AREA.height == 8_000
+        assert GAINESVILLE_AREA.area_km2 == pytest.approx(88.0)
+
+    def test_contains(self):
+        r = Region(0, 0, 10, 10)
+        assert r.contains(Point(5, 5))
+        assert r.contains(Point(0, 0))
+        assert not r.contains(Point(11, 5))
+
+    def test_clamp(self):
+        r = Region(0, 0, 10, 10)
+        assert r.clamp(Point(-5, 20)) == Point(0, 10)
+        assert r.clamp(Point(5, 5)) == Point(5, 5)
+
+    def test_random_point_inside(self):
+        r = Region(0, 0, 100, 50)
+        rng = random.Random(1)
+        for _ in range(100):
+            assert r.contains(r.random_point(rng))
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(0, 0, 0, 10)
+
+    def test_subregion(self):
+        r = Region(0, 0, 100, 100)
+        q = r.subregion(0, 0, 0.5, 0.5)
+        assert (q.x1, q.y1) == (50, 50)
+
+    def test_center(self):
+        assert Region(0, 0, 10, 20).center == Point(5, 10)
+
+
+class TestSpatialHashIndex:
+    def test_within_radius(self):
+        index = SpatialHashIndex(cell_size=10)
+        index.update("a", Point(0, 0))
+        index.update("b", Point(5, 0))
+        index.update("c", Point(50, 50))
+        assert sorted(index.within(Point(0, 0), 10)) == ["a", "b"]
+
+    def test_exclude(self):
+        index = SpatialHashIndex(cell_size=10)
+        index.update("a", Point(0, 0))
+        index.update("b", Point(1, 0))
+        assert index.within(Point(0, 0), 10, exclude="a") == ["b"]
+
+    def test_update_moves_item(self):
+        index = SpatialHashIndex(cell_size=10)
+        index.update("a", Point(0, 0))
+        index.update("a", Point(100, 100))
+        assert index.within(Point(0, 0), 5) == []
+        assert index.within(Point(100, 100), 5) == ["a"]
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = SpatialHashIndex(cell_size=10)
+        index.update("a", Point(0, 0))
+        index.remove("a")
+        assert "a" not in index
+        assert index.within(Point(0, 0), 10) == []
+
+    def test_matches_brute_force(self):
+        rng = random.Random(7)
+        index = SpatialHashIndex(cell_size=37.0)
+        points = {}
+        for i in range(200):
+            p = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            points[i] = p
+            index.update(i, p)
+        for _ in range(20):
+            center = Point(rng.uniform(0, 1000), rng.uniform(0, 1000))
+            radius = rng.uniform(10, 300)
+            expected = sorted(
+                i for i, p in points.items() if p.distance_to(center) <= radius
+            )
+            assert sorted(index.within(center, radius)) == expected
+
+    def test_boundary_inclusive(self):
+        index = SpatialHashIndex(cell_size=10)
+        index.update("edge", Point(10, 0))
+        assert index.within(Point(0, 0), 10) == ["edge"]
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(ValueError):
+            SpatialHashIndex(cell_size=0)
+
+
+class TestPlace:
+    def test_jittered_position_within_radius(self):
+        place = Place("cafe", PlaceKind.SOCIAL, Point(100, 100), radius=30)
+        rng = random.Random(3)
+        for _ in range(200):
+            p = place.jittered_position(rng)
+            assert p.distance_to(place.location) <= 30 + 1e-9
+
+    def test_jitter_spreads_over_disc(self):
+        place = Place("cafe", PlaceKind.SOCIAL, Point(0, 0), radius=10)
+        rng = random.Random(4)
+        distances = [place.jittered_position(rng).distance_to(Point(0, 0)) for _ in range(500)]
+        # Uniform-over-disc: mean distance = 2R/3.
+        assert sum(distances) / len(distances) == pytest.approx(20 / 3, rel=0.1)

@@ -1,0 +1,107 @@
+"""Property-based end-to-end invariants over randomised small worlds.
+
+Each example builds a random deployment (positions, follow graph, posting
+pattern), runs it, and checks invariants that must hold for *any*
+configuration — the properties that make the middleware trustworthy rather
+than merely calibrated.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.config import SosConfig
+from repro.geo.point import Point
+from tests.worldutil import World
+
+NAMES = ["n0", "n1", "n2", "n3", "n4"]
+
+
+def build_random_world(ca, keypair_pool, seed, protocol):
+    rng = random.Random(seed)
+    world = World(ca, keypair_pool, seed=seed)
+    config = SosConfig(routing_protocol=protocol, relay_request_grace=0.0)
+    count = rng.randint(3, 5)
+    for i in range(count):
+        # Cluster positions so some (not all) pairs are in range.
+        x = rng.uniform(0, 260)
+        y = rng.uniform(0, 60)
+        world.add_user(NAMES[i], position=Point(x, y), config=config)
+    names = list(world.apps)
+    for follower in names:
+        for followee in names:
+            if follower != followee and rng.random() < 0.5:
+                world.apps[follower].follow(world.apps[followee].user_id)
+    world.start()
+    posts = rng.randint(1, 6)
+    for p in range(posts):
+        author = names[rng.randrange(len(names))]
+        at = rng.uniform(1.0, 600.0)
+        world.sim.schedule_at(at, world.apps[author].post, f"m{p}")
+    world.run(1200.0)
+    return world
+
+
+class TestEndToEndInvariants:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_interest_based_stores_only_interesting_content(
+        self, ca, keypair_pool, seed
+    ):
+        world = build_random_world(ca, keypair_pool, seed, "interest")
+        for name, app in world.apps.items():
+            interests = set(app.follows) | {app.user_id}
+            for message in app.sos.store.all_messages():
+                assert message.author_id in interests, (
+                    f"{name} stores content from {message.author_id} "
+                    "without subscribing (IB violation)"
+                )
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_message_numbers_are_contiguous_per_author(
+        self, ca, keypair_pool, seed
+    ):
+        world = build_random_world(ca, keypair_pool, seed, "epidemic")
+        for app in world.apps.values():
+            own = app.sos.store.numbers_for(app.user_id)
+            assert own == list(range(1, len(own) + 1))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=6, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_delivery_records_are_sane(self, ca, keypair_pool, seed):
+        world = build_random_world(ca, keypair_pool, seed, "interest")
+        from repro.metrics.collector import TraceCollector
+
+        collector = TraceCollector(world.sim.trace)
+        seen = set()
+        for delivery in collector.deliveries:
+            assert delivery.delay >= 0.0
+            assert delivery.hops >= 1
+            assert delivery.owner != delivery.author or delivery.hops >= 1
+            key = (delivery.owner, delivery.author, delivery.number)
+            assert key not in seen, f"duplicate delivery {key}"
+            seen.add(key)
+            # Every delivered message was actually created.
+            assert (delivery.author, delivery.number) in collector.messages
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_feeds_contain_only_followed_authors(self, ca, keypair_pool, seed):
+        world = build_random_world(ca, keypair_pool, seed, "epidemic")
+        for app in world.apps.values():
+            for entry in app.timeline():
+                assert entry.author_id in app.follows or entry.author_id == app.user_id
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=4, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    def test_no_security_failures_between_honest_nodes(self, ca, keypair_pool, seed):
+        world = build_random_world(ca, keypair_pool, seed, "interest")
+        for app in world.apps.values():
+            assert app.sos.adhoc.stats["security_failures"] == 0

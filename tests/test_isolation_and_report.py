@@ -1,0 +1,130 @@
+"""Per-app middleware isolation (paper §III) and report utilities."""
+
+import pytest
+
+from repro.core.config import SosConfig
+from repro.core.delegates import SosDelegate
+from repro.core.middleware import SOSMiddleware
+from repro.crypto.drbg import HmacDrbg
+from repro.geo.point import Point
+from repro.metrics.report import comparison_row, format_table
+from repro.mobility.base import StationaryModel
+from repro.mpc import MpcFramework
+from repro.net import Device, Medium
+from repro.sim import Simulator
+from repro.sim.randomness import RandomStreams
+from tests.conftest import make_keystore
+
+
+class _Recorder(SosDelegate):
+    def __init__(self):
+        self.received = []
+
+    def sos_message_received(self, message, from_user):
+        self.received.append(message)
+
+
+class TestPerAppIsolation:
+    """The paper's per-app instance design: two applications embedding
+    SOS on the *same pair of devices* must not see each other's traffic
+    when their service types differ."""
+
+    def _middleware(self, sim, fw, device_id, user_id, keystore, service, index):
+        delegate = _Recorder()
+        sos = SOSMiddleware(
+            sim=sim,
+            framework=fw,
+            device_id=device_id,
+            user_id=user_id,
+            keystore=keystore,
+            rng=HmacDrbg.from_int(5000 + index),
+            config=SosConfig(
+                service_type=service, routing_protocol="epidemic",
+                relay_request_grace=0.0,
+            ),
+            delegate=delegate,
+        )
+        return sos, delegate
+
+    def test_different_service_types_never_mix(self, ca, keypair_pool):
+        sim = Simulator(seed=4)
+        medium = Medium(sim, tick_interval=10.0)
+        fw = MpcFramework(sim, medium)
+        medium.add_device(Device("dev-1", StationaryModel(Point(0, 0))))
+        medium.add_device(Device("dev-2", StationaryModel(Point(20, 0))))
+
+        # App "social" and app "medical" both run on both devices, each
+        # with its own user identity and keystore.
+        stores = {
+            uid: make_keystore(ca, keypair_pool[i], uid)
+            for i, uid in enumerate(["u-social01", "u-social02",
+                                     "u-medic001", "u-medic002"])
+        }
+        social_1, social_1_delegate = self._middleware(
+            sim, fw, "dev-1", "u-social01", stores["u-social01"], "svc-social", 1)
+        social_2, social_2_delegate = self._middleware(
+            sim, fw, "dev-2", "u-social02", stores["u-social02"], "svc-social", 2)
+        medic_1, medic_1_delegate = self._middleware(
+            sim, fw, "dev-1", "u-medic001", stores["u-medic001"], "svc-medical", 3)
+        medic_2, medic_2_delegate = self._middleware(
+            sim, fw, "dev-2", "u-medic002", stores["u-medic002"], "svc-medical", 4)
+        for sos in (social_1, social_2, medic_1, medic_2):
+            sos.start()
+        medium.start()
+
+        social_1.send(b"social payload")
+        medic_1.send(b"medical payload")
+        sim.run(until=300.0)
+
+        # Each app's message reached its peer app on the other device...
+        assert [m.body for m in social_2_delegate.received] == [b"social payload"]
+        assert [m.body for m in medic_2_delegate.received] == [b"medical payload"]
+        # ...and never crossed the app boundary.
+        assert all(m.body != b"medical payload" for m in social_2_delegate.received)
+        assert "u-medic001" not in social_2.surrounding_users()
+        assert "u-social01" not in medic_2.surrounding_users()
+        # Store isolation: the social app never carries medical content.
+        assert social_2.store.authors() == ["u-social01"]
+        assert medic_2.store.authors() == ["u-medic001"]
+
+
+class TestReportUtilities:
+    def test_format_table_alignment(self):
+        text = format_table("T", ("a", "bb"), [("x", 1), ("longer", 2.5)])
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "longer" in text and "2.500" in text
+        # All data rows have equal width.
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1
+
+    def test_comparison_row_delta(self):
+        row = comparison_row("m", 2.0, 2.2)
+        assert row == ("m", "2.000", "2.200", "+10.0%")
+
+    def test_comparison_row_missing_values(self):
+        assert comparison_row("m", None, 1.0)[1] == "-"
+        assert comparison_row("m", 1.0, None)[3] == "-"
+
+    def test_comparison_row_zero_paper(self):
+        row = comparison_row("m", 0.0, 0.5)
+        assert row[3] == "+0.500"
+
+
+class TestRandomStreams:
+    def test_fork_derives_independent_family(self):
+        parent = RandomStreams(7)
+        child_a = parent.fork("device-a")
+        child_b = parent.fork("device-b")
+        assert child_a.get("x").random() != child_b.get("x").random()
+
+    def test_fork_is_deterministic(self):
+        a = RandomStreams(7).fork("device-a").get("x").random()
+        b = RandomStreams(7).fork("device-a").get("x").random()
+        assert a == b
+
+    def test_contains(self):
+        streams = RandomStreams(1)
+        assert "m" not in streams
+        streams.get("m")
+        assert "m" in streams

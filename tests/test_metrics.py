@@ -1,0 +1,226 @@
+"""Tests for CDFs, the trace collector, delay/delivery analyses and the
+map overlay."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geo.point import Point
+from repro.geo.region import Region
+from repro.metrics import (
+    DelayAnalysis,
+    DeliveryAnalysis,
+    EmpiricalCdf,
+    MapOverlay,
+    TraceCollector,
+)
+from repro.sim.trace import TraceRecorder
+
+H = 3600.0
+
+
+class TestEmpiricalCdf:
+    def test_at(self):
+        cdf = EmpiricalCdf([1, 2, 3, 4])
+        assert cdf.at(0) == 0.0
+        assert cdf.at(2) == 0.5
+        assert cdf.at(4) == 1.0
+        assert cdf.at(100) == 1.0
+
+    def test_empty(self):
+        cdf = EmpiricalCdf([])
+        assert cdf.at(5) == 0.0
+        assert cdf.fraction_greater(5) == 0.0
+        with pytest.raises(ValueError):
+            cdf.quantile(0.5)
+
+    def test_fraction_greater_and_at_least(self):
+        cdf = EmpiricalCdf([0.5, 0.8, 0.8, 1.0])
+        assert cdf.fraction_greater(0.8) == 0.25
+        assert cdf.fraction_at_least(0.8) == 0.75
+
+    def test_quantile(self):
+        cdf = EmpiricalCdf([10, 20, 30, 40])
+        assert cdf.quantile(0.0) == 10
+        assert cdf.quantile(0.5) == 20
+        assert cdf.quantile(1.0) == 40
+        assert cdf.median() == 20
+
+    def test_quantile_bounds(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([1]).quantile(1.5)
+
+    def test_curve_collapses_ties(self):
+        cdf = EmpiricalCdf([1, 1, 2])
+        assert cdf.curve() == [(1, 2 / 3), (2, 1.0)]
+
+    def test_series(self):
+        cdf = EmpiricalCdf([1, 2, 3])
+        assert cdf.series([0, 2]) == [(0.0, 0.0), (2.0, 2 / 3)]
+
+    @given(st.lists(st.floats(0, 1000, allow_nan=False), min_size=1, max_size=100))
+    @settings(max_examples=100)
+    def test_monotonicity(self, samples):
+        cdf = EmpiricalCdf(samples)
+        xs = sorted(set(samples))
+        values = [cdf.at(x) for x in xs]
+        assert all(a <= b for a, b in zip(values, values[1:]))
+        assert values[-1] == 1.0
+
+
+def build_trace():
+    """A tiny hand-built study trace.
+
+    alice posts m1 at t=0 and m2 at t=10h; bob (subscribed at t=0)
+    receives m1 at 2h (1 hop) and m2 at 40h (2 hops); carol (subscribed
+    at t=5h) receives m1 at 30h (2 hops) and never gets m2.
+    """
+    trace = TraceRecorder()
+    trace.emit(0.0, "social", "follow", follower="bob", followee="alice")
+    trace.emit(0.0, "message", "created", owner="alice", author="alice", number=1, size=5)
+    trace.emit(2 * H, "message", "received", owner="bob", author="alice", number=1,
+               hops=1, created_at=0.0, from_user="alice", interested=True)
+    trace.emit(5 * H, "social", "follow", follower="carol", followee="alice")
+    trace.emit(10 * H, "message", "created", owner="alice", author="alice", number=2, size=5)
+    trace.emit(30 * H, "message", "received", owner="carol", author="alice", number=1,
+               hops=2, created_at=0.0, from_user="bob", interested=True)
+    trace.emit(40 * H, "message", "received", owner="bob", author="alice", number=2,
+               hops=2, created_at=10 * H, from_user="carol", interested=True)
+    return trace
+
+
+class TestTraceCollector:
+    def test_counts(self):
+        collector = TraceCollector(build_trace())
+        assert collector.unique_message_count == 2
+        assert collector.dissemination_count == 3
+
+    def test_first_deliveries(self):
+        collector = TraceCollector(build_trace())
+        firsts = collector.first_deliveries()
+        assert firsts[("bob", "alice", 1)].hops == 1
+        assert firsts[("carol", "alice", 1)].delay == 30 * H
+
+    def test_duplicate_keeps_earliest(self):
+        trace = build_trace()
+        trace.emit(50 * H, "message", "received", owner="bob", author="alice", number=1,
+                   hops=3, created_at=0.0, from_user="x", interested=True)
+        collector = TraceCollector(trace)
+        assert collector.first_deliveries()[("bob", "alice", 1)].hops == 1
+
+    def test_subscription_windows(self):
+        collector = TraceCollector(build_trace())
+        windows = {(w.follower, w.followee): w for w in collector.subscription_windows}
+        assert windows[("carol", "alice")].start == 5 * H
+        assert windows[("bob", "alice")].active_at(100 * H)
+
+    def test_unfollow_closes_window(self):
+        trace = build_trace()
+        trace.emit(60 * H, "social", "unfollow", follower="bob", followee="alice")
+        collector = TraceCollector(trace)
+        window = [w for w in collector.subscription_windows if w.follower == "bob"][0]
+        assert window.end == 60 * H
+        assert not window.active_at(61 * H)
+
+
+class TestDelayAnalysis:
+    def test_cdf_points(self):
+        analysis = DelayAnalysis.from_collector(TraceCollector(build_trace()))
+        # Delays: 2h (1hop), 30h (2hop), 30h... wait: 40h-10h = 30h (2hop).
+        assert analysis.all_hops.n == 3
+        assert analysis.one_hop.n == 1
+        assert analysis.fraction_within_hours(24) == pytest.approx(1 / 3)
+        assert analysis.fraction_within_hours(24, one_hop=True) == 1.0
+        assert analysis.fraction_within_hours(94) == 1.0
+
+    def test_paper_points_keys(self):
+        analysis = DelayAnalysis.from_collector(TraceCollector(build_trace()))
+        points = analysis.paper_points()
+        assert set(points) == {
+            "all_within_24h", "all_within_94h",
+            "one_hop_within_24h", "one_hop_within_94h",
+        }
+
+    def test_curve_rows(self):
+        analysis = DelayAnalysis.from_collector(TraceCollector(build_trace()))
+        rows = analysis.curve_hours([1, 24, 94])
+        assert len(rows) == 3
+        assert rows[1][1] == pytest.approx(1 / 3)
+
+
+class TestDeliveryAnalysis:
+    def test_per_subscription_ratios(self):
+        collector = TraceCollector(build_trace())
+        analysis = DeliveryAnalysis.from_collector(
+            collector, [("bob", "alice"), ("carol", "alice")]
+        )
+        by_pair = {(r.follower, r.followee): r for r in analysis.ratios}
+        bob = by_pair[("bob", "alice")]
+        assert bob.messages_posted == 2
+        assert bob.ratio_all == 1.0
+        assert bob.ratio_one_hop == 0.5
+        carol = by_pair[("carol", "alice")]
+        # carol subscribed at 5h: m1 (t=0) predates the subscription, m2 counts.
+        assert carol.messages_posted == 1
+        assert carol.ratio_all == 0.0
+
+    def test_window_end_truncates_denominator(self):
+        collector = TraceCollector(build_trace())
+        analysis = DeliveryAnalysis.from_collector(
+            collector, [("bob", "alice")], window_end=5 * H
+        )
+        assert analysis.ratios[0].messages_posted == 1
+
+    def test_fraction_reads(self):
+        collector = TraceCollector(build_trace())
+        analysis = DeliveryAnalysis.from_collector(
+            collector, [("bob", "alice"), ("carol", "alice")]
+        )
+        assert analysis.fraction_of_subscriptions_above(0.80) == 0.5
+        assert analysis.fraction_of_subscriptions_above(0.70) == 0.5
+        assert analysis.overall_delivery_ratio() == pytest.approx(2 / 3)
+
+    def test_unmeasurable_subscription_excluded(self):
+        collector = TraceCollector(build_trace())
+        analysis = DeliveryAnalysis.from_collector(
+            collector, [("bob", "nobody")]
+        )
+        assert analysis.ratios[0].ratio_all is None
+        assert analysis.cdf_all().n == 0
+
+
+class TestMapOverlay:
+    def test_coverage_and_centroid(self):
+        overlay = MapOverlay(Region(0, 0, 1000, 1000), cell_size=100)
+        overlay.add("created", 0.0, Point(50, 50), "a")
+        overlay.add("created", 1.0, Point(850, 850), "b")
+        overlay.add("disseminated", 2.0, Point(450, 450), "c")
+        assert overlay.coverage_km2("created") == pytest.approx(0.02)
+        assert overlay.centroid("created") == Point(450, 450)
+        assert len(overlay.points("disseminated")) == 1
+
+    def test_unknown_kind_rejected(self):
+        overlay = MapOverlay(Region(0, 0, 100, 100))
+        with pytest.raises(ValueError):
+            overlay.add("teleported", 0.0, Point(1, 1), "x")
+
+    def test_hot_cells_ranked(self):
+        overlay = MapOverlay(Region(0, 0, 1000, 1000), cell_size=100)
+        for _ in range(3):
+            overlay.add("disseminated", 0.0, Point(50, 50), "x")
+        overlay.add("disseminated", 0.0, Point(950, 950), "y")
+        hot = overlay.hot_cells("disseminated", top=1)
+        assert hot[0] == ((0, 0), 3)
+
+    def test_ascii_map_dimensions_and_markers(self):
+        overlay = MapOverlay(Region(0, 0, 1000, 1000))
+        overlay.add("created", 0.0, Point(10, 10), "a")
+        overlay.add("disseminated", 0.0, Point(990, 990), "b")
+        art = overlay.ascii_map(width=20, height=10)
+        lines = art.splitlines()
+        assert len(lines) == 10 and all(len(l) == 20 for l in lines)
+        assert "b" in art and "r" in art
+
+    def test_empty_centroid_raises(self):
+        overlay = MapOverlay(Region(0, 0, 100, 100))
+        with pytest.raises(ValueError):
+            overlay.centroid("created")

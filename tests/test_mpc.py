@@ -1,0 +1,291 @@
+"""Tests for the simulated Multipeer Connectivity framework."""
+
+import pytest
+
+from repro.geo.point import Point
+from repro.mobility.base import MobilityModel, StationaryModel
+from repro.mpc import (
+    Invitation,
+    MpcFramework,
+    NotConnectedError,
+    PeerID,
+    ServiceAdvertiser,
+    ServiceBrowser,
+    Session,
+    SessionState,
+)
+from repro.mpc.advertiser import AdvertiserDelegate
+from repro.mpc.browser import BrowserDelegate
+from repro.mpc.session import SessionDelegate
+from repro.net import Device, Medium
+from repro.sim import Simulator
+
+
+class _Script(MobilityModel):
+    def __init__(self, waypoints):
+        self._waypoints = sorted(waypoints)
+
+    def position_at(self, now):
+        position = self._waypoints[0][1]
+        for t, p in self._waypoints:
+            if t <= now:
+                position = p
+        return position
+
+
+class _RecordingBrowserDelegate(BrowserDelegate):
+    def __init__(self):
+        self.found = []
+        self.lost = []
+
+    def browser_found_peer(self, browser, peer, info):
+        self.found.append((peer, dict(info)))
+
+    def browser_lost_peer(self, browser, peer):
+        self.lost.append(peer)
+
+
+class _AcceptingAdvertiserDelegate(AdvertiserDelegate):
+    def __init__(self, session):
+        self.session = session
+        self.invitations = []
+
+    def advertiser_received_invitation(self, advertiser, invitation):
+        self.invitations.append(invitation)
+        invitation.accept(self.session)
+
+
+class _DecliningAdvertiserDelegate(AdvertiserDelegate):
+    def advertiser_received_invitation(self, advertiser, invitation):
+        invitation.decline()
+
+
+class _RecordingSessionDelegate(SessionDelegate):
+    def __init__(self):
+        self.connected = []
+        self.disconnected = []
+        self.received = []
+
+    def session_peer_connected(self, session, peer):
+        self.connected.append(peer)
+
+    def session_peer_disconnected(self, session, peer):
+        self.disconnected.append(peer)
+
+    def session_received_data(self, session, data, from_peer):
+        self.received.append((data, from_peer))
+
+
+def two_device_world(distance=30.0, tick=10.0):
+    sim = Simulator(seed=9)
+    medium = Medium(sim, tick_interval=tick)
+    framework = MpcFramework(sim, medium)
+    dev_a = Device("dev-a", StationaryModel(Point(0, 0)))
+    dev_b = Device("dev-b", StationaryModel(Point(distance, 0)))
+    medium.add_device(dev_a)
+    medium.add_device(dev_b)
+    return sim, medium, framework, dev_a, dev_b
+
+
+class TestDiscovery:
+    def test_browser_finds_matching_advertiser(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        peer_a = PeerID("alice", "dev-a")
+        peer_b = PeerID("bob", "dev-b")
+        delegate = _RecordingBrowserDelegate()
+        browser = ServiceBrowser(fw, peer_a, "svc", delegate)
+        advertiser = ServiceAdvertiser(fw, peer_b, "svc", {"k": "1"})
+        browser.start()
+        advertiser.start()
+        medium.start()
+        sim.run(until=20.0)
+        assert delegate.found and delegate.found[0][0] == peer_b
+        assert delegate.found[0][1] == {"k": "1"}
+
+    def test_service_type_isolation(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        delegate = _RecordingBrowserDelegate()
+        ServiceBrowser(fw, PeerID("a", "dev-a"), "svc-one", delegate).start()
+        ServiceAdvertiser(fw, PeerID("b", "dev-b"), "svc-two", {"k": "1"}).start()
+        medium.start()
+        sim.run(until=20.0)
+        assert delegate.found == []
+
+    def test_lost_peer_on_range_exit(self):
+        sim = Simulator(seed=9)
+        medium = Medium(sim, tick_interval=10.0)
+        fw = MpcFramework(sim, medium)
+        medium.add_device(Device("dev-a", StationaryModel(Point(0, 0))))
+        medium.add_device(Device("dev-b", _Script([(0.0, Point(30, 0)), (50.0, Point(900, 0))])))
+        delegate = _RecordingBrowserDelegate()
+        ServiceBrowser(fw, PeerID("a", "dev-a"), "svc", delegate).start()
+        ServiceAdvertiser(fw, PeerID("b", "dev-b"), "svc", {"k": "1"}).start()
+        medium.start()
+        sim.run(until=100.0)
+        assert delegate.lost and delegate.lost[0].display_name == "b"
+
+    def test_discovery_info_refresh_reannounces(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        delegate = _RecordingBrowserDelegate()
+        ServiceBrowser(fw, PeerID("a", "dev-a"), "svc", delegate).start()
+        advertiser = ServiceAdvertiser(fw, PeerID("b", "dev-b"), "svc", {"n": "1"})
+        advertiser.start()
+        medium.start()
+        sim.run(until=20.0)
+        advertiser.set_discovery_info({"n": "2"})
+        sim.run(until=40.0)
+        assert delegate.found[-1][1] == {"n": "2"}
+
+    def test_oversized_discovery_info_rejected(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        advertiser = ServiceAdvertiser(fw, PeerID("b", "dev-b"), "svc")
+        with pytest.raises(ValueError):
+            advertiser.set_discovery_info({"k": "v" * 5000})
+
+    def test_stopped_advertiser_not_found(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        delegate = _RecordingBrowserDelegate()
+        ServiceBrowser(fw, PeerID("a", "dev-a"), "svc", delegate).start()
+        advertiser = ServiceAdvertiser(fw, PeerID("b", "dev-b"), "svc", {"k": "1"})
+        # never started
+        medium.start()
+        sim.run(until=20.0)
+        assert delegate.found == []
+
+
+def connected_pair(distance=30.0):
+    sim, medium, fw, dev_a, dev_b = two_device_world(distance)
+    peer_a, peer_b = PeerID("alice", "dev-a"), PeerID("bob", "dev-b")
+    del_a, del_b = _RecordingSessionDelegate(), _RecordingSessionDelegate()
+    session_a = Session(fw, peer_a, del_a)
+    session_b = Session(fw, peer_b, del_b)
+    browser_delegate = _RecordingBrowserDelegate()
+    browser = ServiceBrowser(fw, peer_a, "svc", browser_delegate)
+    adv_delegate = _AcceptingAdvertiserDelegate(session_b)
+    advertiser = ServiceAdvertiser(fw, peer_b, "svc", {"k": "1"}, adv_delegate)
+    browser.start()
+    advertiser.start()
+    medium.start()
+    sim.run(until=5.0)
+    assert browser_delegate.found
+    browser.invite_peer(peer_b, session_a, b"hello")
+    sim.run(until=20.0)
+    return sim, medium, fw, session_a, session_b, peer_a, peer_b, del_a, del_b
+
+
+class TestInvitationAndSession:
+    def test_invitation_accept_connects_both(self):
+        sim, medium, fw, sa, sb, pa, pb, da, db = connected_pair()
+        assert sa.state_of(pb) is SessionState.CONNECTED
+        assert sb.state_of(pa) is SessionState.CONNECTED
+        assert da.connected == [pb]
+        assert db.connected == [pa]
+
+    def test_invitation_decline_leaves_disconnected(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        peer_a, peer_b = PeerID("a", "dev-a"), PeerID("b", "dev-b")
+        session_a = Session(fw, peer_a)
+        Session(fw, peer_b)
+        browser = ServiceBrowser(fw, peer_a, "svc")
+        ServiceAdvertiser(fw, peer_b, "svc", {"k": "1"}, _DecliningAdvertiserDelegate()).start()
+        browser.start()
+        medium.start()
+        sim.run(until=5.0)
+        browser.invite_peer(peer_b, session_a)
+        sim.run(until=20.0)
+        assert session_a.state_of(peer_b) is SessionState.NOT_CONNECTED
+
+    def test_double_answer_rejected(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        invitation = Invitation(fw, PeerID("a", "dev-a"), PeerID("b", "dev-b"), b"", Session(fw, PeerID("a", "dev-a")))
+        invitation.decline()
+        with pytest.raises(RuntimeError):
+            invitation.decline()
+
+    def test_data_transfer(self):
+        sim, medium, fw, sa, sb, pa, pb, da, db = connected_pair()
+        results = []
+        sa.send(b"payload", pb, on_complete=results.append)
+        sim.run(until=30.0)
+        assert results == [True]
+        assert db.received == [(b"payload", pa)]
+        assert fw.stats["transfers_completed"] == 1
+
+    def test_send_to_unconnected_raises(self):
+        sim, medium, fw, dev_a, dev_b = two_device_world()
+        session = Session(fw, PeerID("a", "dev-a"))
+        with pytest.raises(NotConnectedError):
+            session.send(b"x", PeerID("b", "dev-b"))
+
+    def test_transfer_fails_when_link_drops_midflight(self):
+        sim = Simulator(seed=9)
+        medium = Medium(sim, tick_interval=5.0)
+        fw = MpcFramework(sim, medium)
+        medium.add_device(Device("dev-a", StationaryModel(Point(0, 0))))
+        medium.add_device(Device("dev-b", _Script([(0.0, Point(30, 0)), (40.0, Point(900, 0))])))
+        peer_a, peer_b = PeerID("a", "dev-a"), PeerID("b", "dev-b")
+        del_b = _RecordingSessionDelegate()
+        session_a = Session(fw, peer_a)
+        session_b = Session(fw, peer_b, del_b)
+        browser = ServiceBrowser(fw, peer_a, "svc")
+        ServiceAdvertiser(fw, peer_b, "svc", {"k": "1"}, _AcceptingAdvertiserDelegate(session_b)).start()
+        browser.start()
+        medium.start()
+        sim.run(until=10.0)
+        browser.invite_peer(peer_b, session_a)
+        sim.run(until=35.0)
+        assert session_a.state_of(peer_b) is SessionState.CONNECTED
+        results = []
+        # 50 MB over P2P WiFi takes ~16s; the link dies at t=40-45.
+        session_a.send(b"\x00" * 50_000_000, peer_b, on_complete=results.append)
+        sim.run(until=120.0)
+        assert results == [False]
+        assert del_b.received == []
+        assert fw.stats["transfers_failed"] >= 1
+
+    def test_sessions_disconnect_on_link_drop(self):
+        sim = Simulator(seed=9)
+        medium = Medium(sim, tick_interval=5.0)
+        fw = MpcFramework(sim, medium)
+        medium.add_device(Device("dev-a", StationaryModel(Point(0, 0))))
+        medium.add_device(Device("dev-b", _Script([(0.0, Point(30, 0)), (60.0, Point(900, 0))])))
+        peer_a, peer_b = PeerID("a", "dev-a"), PeerID("b", "dev-b")
+        del_a = _RecordingSessionDelegate()
+        session_a = Session(fw, peer_a, del_a)
+        session_b = Session(fw, peer_b)
+        browser = ServiceBrowser(fw, peer_a, "svc")
+        ServiceAdvertiser(fw, peer_b, "svc", {"k": "1"}, _AcceptingAdvertiserDelegate(session_b)).start()
+        browser.start()
+        medium.start()
+        sim.run(until=10.0)
+        browser.invite_peer(peer_b, session_a)
+        sim.run(until=120.0)
+        assert session_a.state_of(peer_b) is SessionState.NOT_CONNECTED
+        assert del_a.disconnected == [peer_b]
+
+    def test_explicit_disconnect(self):
+        sim, medium, fw, sa, sb, pa, pb, da, db = connected_pair()
+        sa.disconnect()
+        assert sa.connected_peers == []
+        assert sb.state_of(pa) is SessionState.NOT_CONNECTED
+        assert db.disconnected == [pa]
+
+    def test_transfers_serialised_per_pair(self):
+        sim, medium, fw, sa, sb, pa, pb, da, db = connected_pair()
+        order = []
+        sa.send(b"\x00" * 1_000_000, pb, on_complete=lambda ok: order.append("first"))
+        sa.send(b"\x01" * 10, pb, on_complete=lambda ok: order.append("second"))
+        sim.run(until=60.0)
+        assert order == ["first", "second"]
+        assert [d for d, _ in db.received] == [b"\x00" * 1_000_000, b"\x01" * 10]
+
+
+class TestPeerID:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeerID("", "dev")
+        with pytest.raises(ValueError):
+            PeerID("name", "")
+
+    def test_str(self):
+        assert str(PeerID("alice", "dev-1")) == "alice@dev-1"

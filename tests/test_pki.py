@@ -1,0 +1,244 @@
+"""Tests for certificates, CSRs, the CA, validation and revocation."""
+
+import pytest
+
+from repro.crypto.drbg import HmacDrbg
+from repro.pki import (
+    Certificate,
+    CertificateAuthority,
+    CertificateError,
+    CertificateSigningRequest,
+    CertificateValidator,
+    DistinguishedName,
+    KeyStore,
+    ValidationResult,
+)
+from tests.conftest import make_keystore
+
+
+@pytest.fixture()
+def user_csr(keypair_pool):
+    return CertificateSigningRequest.create(
+        DistinguishedName("alice"), keypair_pool[0].private, "user-alice1"
+    )
+
+
+class TestCsr:
+    def test_self_signature_verifies(self, user_csr):
+        assert user_csr.verify()
+
+    def test_encode_decode_roundtrip(self, user_csr):
+        decoded = CertificateSigningRequest.decode(user_csr.encode())
+        assert decoded.user_id == "user-alice1"
+        assert decoded.verify()
+
+    def test_tampered_user_id_fails_verification(self, user_csr, keypair_pool):
+        forged = CertificateSigningRequest(
+            subject=user_csr.subject,
+            public_key=user_csr.public_key,
+            user_id="user-mallor",
+            signature=user_csr.signature,
+        )
+        assert not forged.verify()
+
+    def test_substituted_key_fails_verification(self, user_csr, keypair_pool):
+        forged = CertificateSigningRequest(
+            subject=user_csr.subject,
+            public_key=keypair_pool[1].public,
+            user_id=user_csr.user_id,
+            signature=user_csr.signature,
+        )
+        assert not forged.verify()
+
+
+class TestIssuance:
+    def test_issue_and_verify_chain(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        assert cert.verify_signature(ca.root_certificate.public_key)
+        assert cert.user_id == "user-alice1"
+        assert not cert.is_ca
+
+    def test_user_id_cross_check_rejects_mismatch(self, ca, user_csr):
+        with pytest.raises(CertificateError, match="mismatch"):
+            ca.issue(user_csr, now=0.0, expected_user_id="user-bobbb1")
+
+    def test_unsigned_csr_rejected(self, ca, keypair_pool):
+        unsigned = CertificateSigningRequest(
+            subject=DistinguishedName("x"),
+            public_key=keypair_pool[2].public,
+            user_id="user-x",
+        )
+        with pytest.raises(CertificateError, match="possession"):
+            ca.issue(unsigned, now=0.0)
+
+    def test_serials_increment(self, ca, keypair_pool):
+        csr_a = CertificateSigningRequest.create(
+            DistinguishedName("a"), keypair_pool[3].private, "user-aaaaa1"
+        )
+        csr_b = CertificateSigningRequest.create(
+            DistinguishedName("b"), keypair_pool[4].private, "user-bbbbb1"
+        )
+        cert_a = ca.issue(csr_a, now=0.0)
+        cert_b = ca.issue(csr_b, now=0.0)
+        assert cert_b.serial == cert_a.serial + 1
+        assert ca.get_issued(cert_a.serial) == cert_a
+
+    def test_root_is_self_signed_ca(self, ca):
+        assert ca.root_certificate.is_ca
+        assert ca.root_certificate.is_self_signed()
+
+
+class TestCertificateEncoding:
+    def test_roundtrip_preserves_everything(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=10.0)
+        decoded = Certificate.decode(cert.encode())
+        assert decoded == cert
+        assert decoded.fingerprint() == cert.fingerprint()
+
+    def test_truncated_encoding_raises(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        with pytest.raises(CertificateError):
+            Certificate.decode(cert.encode()[:30])
+
+    def test_bad_magic_raises(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        blob = bytearray(cert.encode())
+        blob[4:9] = b"XXXX\x01"
+        with pytest.raises(CertificateError):
+            Certificate.decode(bytes(blob))
+
+    def test_extensions_roundtrip(self, ca, keypair_pool):
+        base = Certificate(
+            subject=DistinguishedName("e"),
+            issuer=DistinguishedName("e"),
+            public_key=keypair_pool[5].public,
+            serial=99,
+            not_before=0.0,
+            not_after=100.0,
+            user_id="user-exts1",
+            extensions={"role": "tester", "device": "iphone"},
+        )
+        signed = base.with_signature(keypair_pool[5].private.sign(base.tbs_bytes()))
+        decoded = Certificate.decode(signed.encode())
+        assert decoded.extensions == {"role": "tester", "device": "iphone"}
+
+
+class TestValidation:
+    def test_valid_certificate(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert validator.validate(cert, now=1.0) is ValidationResult.VALID
+
+    def test_expired(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0, validity=100.0)
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert validator.validate(cert, now=101.0) is ValidationResult.EXPIRED
+
+    def test_not_yet_valid(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=50.0)
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert validator.validate(cert, now=10.0) is ValidationResult.NOT_YET_VALID
+
+    def test_tampered_signature(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        tampered = cert.with_signature(b"\x00" * len(cert.signature))
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert validator.validate(tampered, now=1.0) is ValidationResult.BAD_SIGNATURE
+
+    def test_untrusted_issuer(self, ca, keypair_pool, user_csr):
+        other_ca = CertificateAuthority(
+            name="Rogue CA", rng=HmacDrbg.from_int(999), now=0.0
+        )
+        cert = other_ca.issue(user_csr, now=0.0)
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert validator.validate(cert, now=1.0) is ValidationResult.UNTRUSTED_ISSUER
+
+    def test_same_name_rogue_ca_fails_signature(self, ca, user_csr):
+        """A rogue CA mimicking the real CA's name still fails: the
+        signature does not verify against the trusted root's key."""
+        mimic = CertificateAuthority(rng=HmacDrbg.from_int(998), now=0.0)
+        cert = mimic.issue(user_csr, now=0.0)
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert validator.validate(cert, now=1.0) is ValidationResult.BAD_SIGNATURE
+
+    def test_user_id_pinning(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        validator = CertificateValidator(root=ca.root_certificate)
+        assert (
+            validator.validate(cert, now=1.0, expected_user_id="user-bobbb1")
+            is ValidationResult.USER_ID_MISMATCH
+        )
+
+    def test_revocation(self, ca, keypair_pool):
+        csr = CertificateSigningRequest.create(
+            DistinguishedName("r"), keypair_pool[6].private, "user-rrrrr1"
+        )
+        cert = ca.issue(csr, now=0.0)
+        ca.revoke(cert.serial, now=5.0, reason="compromised")
+        validator = CertificateValidator(
+            root=ca.root_certificate, revocations=ca.revocations
+        )
+        assert validator.validate(cert, now=6.0) is ValidationResult.REVOKED
+
+    def test_stale_crl_still_trusts(self, ca, keypair_pool):
+        """The §IV exposure window: a device that never syncs keeps
+        trusting a revoked certificate."""
+        csr = CertificateSigningRequest.create(
+            DistinguishedName("s"), keypair_pool[7].private, "user-sssss1"
+        )
+        cert = ca.issue(csr, now=0.0)
+        stale = ca.revocations.snapshot()
+        validator = CertificateValidator(root=ca.root_certificate, revocations=stale)
+        ca.revoke(cert.serial, now=5.0)
+        assert validator.validate(cert, now=6.0) is ValidationResult.VALID
+        validator.update_revocations(ca.revocations)
+        assert validator.validate(cert, now=6.0) is ValidationResult.REVOKED
+
+    def test_non_ca_anchor_rejected(self, ca, user_csr):
+        cert = ca.issue(user_csr, now=0.0)
+        with pytest.raises(ValueError):
+            CertificateValidator(root=cert)
+
+
+class TestKeyStore:
+    def test_provision_and_validate(self, ca, keypair_pool):
+        store = make_keystore(ca, keypair_pool[8], "user-kst001")
+        assert store.provisioned
+        peer_store = make_keystore(ca, keypair_pool[9], "user-kst002")
+        result = store.validate_and_cache(
+            peer_store.own_certificate, now=1.0, expected_user_id="user-kst002"
+        )
+        assert result.ok
+        assert store.peer_certificate("user-kst002") is not None
+        assert "user-kst002" in store.known_peers()
+
+    def test_mismatched_key_rejected(self, ca, keypair_pool):
+        csr = CertificateSigningRequest.create(
+            DistinguishedName("m"), keypair_pool[10].private, "user-mmmmm1"
+        )
+        cert = ca.issue(csr, now=0.0)
+        store = KeyStore()
+        with pytest.raises(ValueError):
+            store.provision(keypair_pool[11].private, cert, ca.root_certificate)
+
+    def test_unprovisioned_validation_raises(self, ca, keypair_pool):
+        store = KeyStore()
+        peer = make_keystore(ca, keypair_pool[9], "user-kst003")
+        with pytest.raises(RuntimeError):
+            store.validate_and_cache(peer.own_certificate, now=0.0)
+
+    def test_revocation_sync_evicts_cached_peer(self, ca, keypair_pool):
+        store = make_keystore(ca, keypair_pool[8], "user-kst004")
+        peer = make_keystore(ca, keypair_pool[9], "user-kst005")
+        store.validate_and_cache(peer.own_certificate, now=0.0)
+        assert store.peer_certificate("user-kst005") is not None
+        ca.revoke(peer.own_certificate.serial, now=1.0)
+        store.sync_revocations(ca.revocations)
+        assert store.peer_certificate("user-kst005") is None
+
+    def test_forget_peer(self, ca, keypair_pool):
+        store = make_keystore(ca, keypair_pool[8], "user-kst006")
+        peer = make_keystore(ca, keypair_pool[9], "user-kst007")
+        store.validate_and_cache(peer.own_certificate, now=0.0)
+        store.forget_peer("user-kst007")
+        assert store.peer_certificate("user-kst007") is None

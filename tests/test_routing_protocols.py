@@ -1,0 +1,361 @@
+"""Unit tests of the routing protocols against a fake RouterServices.
+
+These exercise protocol *decisions* in isolation; the end-to-end behaviour
+over real radios is covered by the middleware integration tests.
+"""
+
+from typing import Callable, Dict, FrozenSet, List
+
+import pytest
+
+from repro.core.routing import (
+    DirectDeliveryRouting,
+    EpidemicRouting,
+    FirstContactRouting,
+    InterestBasedRouting,
+    ProphetRouting,
+    RoutingRegistry,
+    SprayAndWaitRouting,
+)
+from repro.core.routing.base import RouterServices
+from repro.storage.messagestore import MessageStore, StoredMessage
+
+ALICE = "u00000000a"
+BOB = "u00000000b"
+CAROL = "u00000000c"
+
+
+def msg(author, number, hops=0):
+    return StoredMessage(
+        author_id=author, number=number, created_at=0.0,
+        body=b"x", signature=b"s", author_cert=b"c", hops=hops,
+    )
+
+
+class FakeServices(RouterServices):
+    """Records every call a protocol makes."""
+
+    def __init__(self, user_id=BOB, subscriptions=(), grace=0.0):
+        self._user_id = user_id
+        self._store = MessageStore()
+        self._subscriptions = frozenset(subscriptions)
+        self._grace = grace
+        self._now = 0.0
+        self.connects: List[str] = []
+        self.requests: List[tuple] = []
+        self.sent: List[tuple] = []
+        self.controls: List[tuple] = []
+        self.deferred: List[tuple] = []
+        self.secured: List[str] = []
+
+    @property
+    def user_id(self):
+        return self._user_id
+
+    @property
+    def store(self):
+        return self._store
+
+    @property
+    def subscriptions(self) -> FrozenSet[str]:
+        return self._subscriptions
+
+    def now(self):
+        return self._now
+
+    def connect(self, peer_user):
+        self.connects.append(peer_user)
+        return True
+
+    def request_messages(self, peer_user, author_id, numbers):
+        self.requests.append((peer_user, author_id, list(numbers)))
+
+    def send_message(self, peer_user, message, on_complete=None):
+        self.sent.append((peer_user, message))
+
+    def send_control(self, peer_user, payload):
+        self.controls.append((peer_user, payload))
+
+    def secured_peers(self):
+        return list(self.secured)
+
+    def defer(self, delay: float, callback: Callable[[], None]):
+        self.deferred.append((delay, callback))
+
+    @property
+    def relay_request_grace(self):
+        return self._grace
+
+    def run_deferred(self):
+        pending, self.deferred = self.deferred, []
+        for _, callback in pending:
+            callback()
+
+
+def attach(protocol, **kwargs):
+    services = FakeServices(**kwargs)
+    protocol.attach(services)
+    return services
+
+
+class TestEpidemic:
+    def test_connects_on_fresh_advert(self):
+        router = EpidemicRouting()
+        services = attach(router)
+        router.on_peer_discovered(ALICE, {ALICE: 3})
+        assert services.connects == [ALICE]
+
+    def test_no_connect_when_up_to_date(self):
+        router = EpidemicRouting()
+        services = attach(router)
+        services.store.add(msg(ALICE, 1))
+        services.store.add(msg(ALICE, 2))
+        services.store.add(msg(ALICE, 3))
+        router.on_peer_discovered(ALICE, {ALICE: 3})
+        assert services.connects == []
+
+    def test_requests_missing_on_secured(self):
+        router = EpidemicRouting()
+        services = attach(router)
+        services.store.add(msg(ALICE, 2))
+        router.on_peer_discovered(ALICE, {ALICE: 3})
+        router.on_peer_secured(ALICE)
+        assert services.requests == [(ALICE, ALICE, [1, 3])]
+
+    def test_readvert_while_secured_requests_directly(self):
+        router = EpidemicRouting()
+        services = attach(router)
+        services.secured.append(ALICE)
+        router.on_peer_discovered(ALICE, {ALICE: 1})
+        assert services.requests == [(ALICE, ALICE, [1])]
+        assert services.connects == []
+
+    def test_always_becomes_forwarder(self):
+        router = EpidemicRouting()
+        attach(router)
+        assert router.on_message_received(msg(CAROL, 1), ALICE)
+
+    def test_serves_everything_requested(self):
+        router = EpidemicRouting()
+        services = attach(router)
+        services.store.add(msg(CAROL, 1))
+        served = router.serve_request(ALICE, CAROL, [1, 2])
+        assert [m.number for m in served] == [1]
+
+
+class TestInterestBased:
+    def test_ignores_uninteresting_adverts(self):
+        router = InterestBasedRouting()
+        services = attach(router, subscriptions=())
+        router.on_peer_discovered(ALICE, {ALICE: 5})
+        assert services.connects == []
+
+    def test_connects_for_subscribed_author(self):
+        router = InterestBasedRouting()
+        services = attach(router, subscriptions=(ALICE,))
+        router.on_peer_discovered(CAROL, {ALICE: 5})
+        assert services.connects == [CAROL]
+
+    def test_own_content_always_interesting(self):
+        router = InterestBasedRouting()
+        services = attach(router, subscriptions=())
+        router.on_peer_discovered(ALICE, {BOB: 2})  # BOB == our own id
+        assert services.connects == [ALICE]
+
+    def test_requests_only_interesting_authors(self):
+        router = InterestBasedRouting()
+        services = attach(router, subscriptions=(ALICE,))
+        router.on_peer_discovered(CAROL, {ALICE: 2, CAROL: 9})
+        router.on_peer_secured(CAROL)
+        assert services.requests == [(CAROL, ALICE, [1, 2])]
+
+    def test_drops_uninteresting_messages(self):
+        router = InterestBasedRouting()
+        attach(router, subscriptions=(ALICE,))
+        assert router.on_message_received(msg(ALICE, 1), CAROL)
+        assert not router.on_message_received(msg(CAROL, 1), CAROL)
+
+
+class TestOriginPreference:
+    def test_origin_requested_immediately_relay_deferred(self):
+        router = InterestBasedRouting()
+        services = attach(router, subscriptions=(ALICE, CAROL), grace=60.0)
+        services.secured.append(CAROL)
+        router.on_peer_discovered(CAROL, {CAROL: 1, ALICE: 1})
+        # CAROL's own content: immediate.  ALICE's via CAROL: deferred.
+        assert services.requests == [(CAROL, CAROL, [1])]
+        assert len(services.deferred) == 1
+        services.run_deferred()
+        assert (CAROL, ALICE, [1]) in services.requests
+
+    def test_zero_grace_requests_everything_immediately(self):
+        router = InterestBasedRouting()
+        services = attach(router, subscriptions=(ALICE, CAROL), grace=0.0)
+        services.secured.append(CAROL)
+        router.on_peer_discovered(CAROL, {CAROL: 1, ALICE: 1})
+        assert len(services.requests) == 2
+        assert services.deferred == []
+
+
+class TestDirectDelivery:
+    def test_connects_only_to_followed_author(self):
+        router = DirectDeliveryRouting()
+        services = attach(router, subscriptions=(ALICE,))
+        router.on_peer_discovered(ALICE, {ALICE: 2})
+        router.on_peer_discovered(CAROL, {ALICE: 9})  # carol relaying alice
+        assert services.connects == [ALICE]
+
+    def test_never_serves_others_content(self):
+        router = DirectDeliveryRouting()
+        services = attach(router, subscriptions=(ALICE,))
+        services.store.add(msg(ALICE, 1, hops=1))
+        services.store.add(msg(BOB, 1))
+        assert router.serve_request(CAROL, ALICE, [1]) == []
+        assert [m.number for m in router.serve_request(CAROL, BOB, [1])] == [1]
+
+    def test_advertises_only_own(self):
+        router = DirectDeliveryRouting()
+        services = attach(router)
+        services.store.add(msg(BOB, 1))
+        services.store.add(msg(ALICE, 4, hops=1))
+        assert router.advertisement_marks() == {BOB: 1}
+
+
+class TestFirstContact:
+    def test_hands_off_roaming_copy_once(self):
+        router = FirstContactRouting()
+        services = attach(router, subscriptions=())
+        services.store.add(msg(ALICE, 1, hops=2))  # carried, not interested
+        first = router.serve_request(CAROL, ALICE, [1])
+        assert [m.number for m in first] == [1]
+        second = router.serve_request("u00000000d", ALICE, [1])
+        assert second == []
+
+    def test_interested_copy_is_kept_and_served(self):
+        router = FirstContactRouting()
+        services = attach(router, subscriptions=(ALICE,))
+        services.store.add(msg(ALICE, 1, hops=1))
+        assert router.serve_request(CAROL, ALICE, [1])
+        assert router.serve_request("u00000000d", ALICE, [1])  # still serves
+
+    def test_handed_off_removed_from_advertisement(self):
+        router = FirstContactRouting()
+        services = attach(router, subscriptions=())
+        services.store.add(msg(ALICE, 1, hops=1))
+        assert router.advertisement_marks() == {ALICE: 1}
+        router.serve_request(CAROL, ALICE, [1])
+        assert router.advertisement_marks() == {}
+
+
+class TestSprayAndWait:
+    def test_initial_tokens_granted_to_author(self):
+        router = SprayAndWaitRouting(initial_copies=8)
+        attach(router)
+        router.grant_initial_tokens(BOB, 1)
+        assert router.tokens_for(BOB, 1) == 8
+
+    def test_binary_spray_halves_tokens(self):
+        router = SprayAndWaitRouting(initial_copies=8)
+        services = attach(router)
+        services.store.add(msg(BOB, 1))
+        router.grant_initial_tokens(BOB, 1)
+        served = router.serve_request(CAROL, BOB, [1])
+        assert served
+        assert router.tokens_for(BOB, 1) == 4
+        # The grant control precedes the data.
+        assert services.controls
+
+    def test_token_grant_received_via_control(self):
+        sender = SprayAndWaitRouting(initial_copies=8)
+        sender_services = attach(sender)
+        sender_services.store.add(msg(BOB, 1))
+        sender.grant_initial_tokens(BOB, 1)
+        sender.serve_request(CAROL, BOB, [1])
+        payload = sender_services.controls[0][1]
+
+        receiver = SprayAndWaitRouting()
+        attach(receiver, user_id=CAROL)
+        receiver.on_control(BOB, payload)
+        assert receiver.on_message_received(msg(BOB, 1, hops=0), BOB)
+        assert receiver.tokens_for(BOB, 1) >= 1
+
+    def test_invalid_copies_rejected(self):
+        with pytest.raises(ValueError):
+            SprayAndWaitRouting(initial_copies=0)
+
+
+class TestProphet:
+    def test_encounter_raises_predictability(self):
+        router = ProphetRouting()
+        attach(router)
+        assert router.predictability(ALICE) == 0.0
+        router._on_encounter(ALICE)
+        assert router.predictability(ALICE) == pytest.approx(0.75)
+        router._on_encounter(ALICE)
+        assert router.predictability(ALICE) > 0.75
+
+    def test_aging_decays(self):
+        router = ProphetRouting()
+        services = attach(router)
+        router._on_encounter(ALICE)
+        p0 = router.predictability(ALICE)
+        services._now = 100 * 3600.0
+        assert router.predictability(ALICE) < p0
+
+    def test_transitivity_via_control(self):
+        router = ProphetRouting()
+        services = attach(router)
+        router._on_encounter(ALICE)
+        import json
+
+        router.on_control(ALICE, json.dumps({"pred": {CAROL: 0.9}}).encode())
+        assert router.predictability(CAROL) > 0.0
+
+    def test_secured_peer_gets_vector(self):
+        router = ProphetRouting()
+        services = attach(router)
+        router.on_peer_discovered(ALICE, {ALICE: 1})
+        router.on_peer_secured(ALICE)
+        assert services.controls
+        assert services.requests  # and the content request went out
+
+    def test_malformed_control_ignored(self):
+        router = ProphetRouting()
+        attach(router)
+        router.on_control(ALICE, b"\xff\xfe not json")  # must not raise
+
+
+class TestRegistry:
+    def test_builtins_present(self):
+        registry = RoutingRegistry.with_builtins()
+        assert set(registry.names()) == {
+            "epidemic", "interest", "direct", "first_contact",
+            "spray_wait", "prophet", "bubble",
+        }
+
+    def test_create_unknown_raises(self):
+        with pytest.raises(KeyError):
+            RoutingRegistry.with_builtins().create("warp")
+
+    def test_duplicate_registration_rejected(self):
+        registry = RoutingRegistry()
+        registry.register("epidemic", EpidemicRouting)
+        with pytest.raises(ValueError):
+            registry.register("epidemic", EpidemicRouting)
+
+    def test_name_mismatch_rejected(self):
+        registry = RoutingRegistry()
+        registry.register("misnamed", EpidemicRouting)
+        with pytest.raises(ValueError):
+            registry.create("misnamed")
+
+    def test_custom_protocol_pluggable(self):
+        """The paper's modularity claim: a new scheme in a handful of
+        lines, registered and instantiated by name."""
+
+        class FloodOnce(EpidemicRouting):
+            name = "flood_once"
+
+        registry = RoutingRegistry.with_builtins()
+        registry.register("flood_once", FloodOnce)
+        assert isinstance(registry.create("flood_once"), FloodOnce)

@@ -1,0 +1,226 @@
+"""Tests for the social digraph, metrics and the Fig. 4a reconstruction.
+
+Every §VI-A statistic the paper publishes is asserted here, and our
+from-scratch metric implementations are cross-validated against networkx.
+"""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.social import (
+    FIGURE_4A_EDGES,
+    INITIAL_SUBSCRIPTIONS,
+    LATE_FOLLOWS,
+    SocialDigraph,
+    average_shortest_path_length,
+    center,
+    density_directed,
+    density_undirected,
+    diameter,
+    eccentricities,
+    figure_4a_graph,
+    hub_and_cluster_digraph,
+    radius,
+    random_digraph,
+    reciprocity,
+    transitivity_undirected,
+)
+from repro.social.metrics import degree_summary
+
+
+class TestDigraphBasics:
+    def test_add_edge_and_queries(self):
+        g = SocialDigraph()
+        g.add_edge("a", "b")
+        assert g.has_edge("a", "b")
+        assert not g.has_edge("b", "a")
+        assert g.following("a") == {"b"}
+        assert g.followers("b") == {"a"}
+        assert g.out_degree("a") == 1 and g.in_degree("b") == 1
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            SocialDigraph().add_edge("a", "a")
+
+    def test_remove_edge(self):
+        g = SocialDigraph.from_edges([("a", "b")])
+        g.remove_edge("a", "b")
+        assert not g.has_edge("a", "b")
+        assert g.edge_count == 0
+
+    def test_undirected_projection(self):
+        g = SocialDigraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        adj = g.undirected_adjacency()
+        assert adj["a"] == {"b"}
+        assert adj["c"] == {"b"}
+        assert g.undirected_edge_count() == 2
+
+    def test_copy_is_independent(self):
+        g = SocialDigraph.from_edges([("a", "b")])
+        clone = g.copy()
+        clone.add_edge("b", "a")
+        assert not g.has_edge("b", "a")
+
+    def test_weak_connectivity(self):
+        connected = SocialDigraph.from_edges([("a", "b"), ("c", "b")])
+        assert connected.is_weakly_connected()
+        disconnected = SocialDigraph.from_edges([("a", "b")], nodes=["z"])
+        assert not disconnected.is_weakly_connected()
+
+
+class TestFigure4aReconstruction:
+    """Every number §VI-A publishes, asserted against our reconstruction."""
+
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return figure_4a_graph()
+
+    def test_ten_nodes(self, graph):
+        assert graph.node_count == 10
+
+    def test_density_is_0_64(self, graph):
+        assert round(density_directed(graph), 2) == 0.64
+
+    def test_average_shortest_path_is_1_3(self, graph):
+        assert round(average_shortest_path_length(graph), 1) == 1.3
+
+    def test_diameter_is_2(self, graph):
+        assert diameter(graph) == 2
+
+    def test_radius_is_1_with_centers_6_and_7(self, graph):
+        assert radius(graph) == 1
+        assert center(graph) == [6, 7]
+
+    def test_transitivity_is_0_80(self, graph):
+        assert round(transitivity_undirected(graph), 2) == 0.80
+
+    def test_node1_follows_node3_unreciprocated(self, graph):
+        """The one adjacency fact the paper states explicitly."""
+        assert graph.has_edge(1, 3)
+        assert not graph.has_edge(3, 1)
+
+    def test_46_initial_subscriptions(self):
+        assert len(INITIAL_SUBSCRIPTIONS) == 46
+
+    def test_late_follows_complete_the_graph(self):
+        assert len(LATE_FOLLOWS) == 12
+        assert set(INITIAL_SUBSCRIPTIONS) | set(LATE_FOLLOWS) == set(FIGURE_4A_EDGES)
+        assert not set(INITIAL_SUBSCRIPTIONS) & set(LATE_FOLLOWS)
+
+    def test_day0_graph_has_46_edges(self):
+        assert figure_4a_graph(include_late_follows=False).edge_count == 46
+
+    def test_weakly_connected(self, graph):
+        assert graph.is_weakly_connected()
+
+
+class TestCrossValidationWithNetworkx:
+    """Our from-scratch metrics must agree with networkx exactly."""
+
+    def _nx_pair(self, graph):
+        nx_graph = nx.DiGraph(list(graph.edges()))
+        nx_graph.add_nodes_from(graph.nodes)
+        return nx_graph, nx.Graph(nx_graph)
+
+    @pytest.fixture(scope="class")
+    def graphs(self):
+        rng = random.Random(31)
+        out = [figure_4a_graph()]
+        for i in range(5):
+            out.append(random_digraph(range(8 + i), density=0.4, rng=rng))
+        return out
+
+    def test_density(self, graphs):
+        for g in graphs:
+            nx_dir, _ = self._nx_pair(g)
+            assert density_directed(g) == pytest.approx(nx.density(nx_dir))
+
+    def test_transitivity(self, graphs):
+        for g in graphs:
+            _, nx_und = self._nx_pair(g)
+            assert transitivity_undirected(g) == pytest.approx(nx.transitivity(nx_und))
+
+    def test_average_shortest_path(self, graphs):
+        for g in graphs:
+            _, nx_und = self._nx_pair(g)
+            if not nx.is_connected(nx_und):
+                continue
+            assert average_shortest_path_length(g) == pytest.approx(
+                nx.average_shortest_path_length(nx_und)
+            )
+
+    def test_eccentricity_diameter_radius_center(self, graphs):
+        for g in graphs:
+            _, nx_und = self._nx_pair(g)
+            if not nx.is_connected(nx_und):
+                continue
+            assert eccentricities(g) == nx.eccentricity(nx_und)
+            assert diameter(g) == nx.diameter(nx_und)
+            assert radius(g) == nx.radius(nx_und)
+            assert center(g) == sorted(nx.center(nx_und), key=repr)
+
+    def test_reciprocity(self, graphs):
+        for g in graphs:
+            nx_dir, _ = self._nx_pair(g)
+            if g.edge_count == 0:
+                continue
+            assert reciprocity(g) == pytest.approx(nx.reciprocity(nx_dir))
+
+
+class TestMetricsEdgeCases:
+    def test_empty_graph(self):
+        g = SocialDigraph()
+        assert density_directed(g) == 0.0
+        assert transitivity_undirected(g) == 0.0
+        assert reciprocity(g) == 0.0
+
+    def test_single_node(self):
+        g = SocialDigraph()
+        g.add_node("only")
+        assert average_shortest_path_length(g) == 0.0
+        assert degree_summary(g)["in_max"] == 0
+
+    def test_disconnected_raises_for_path_metrics(self):
+        g = SocialDigraph.from_edges([("a", "b")], nodes=["z"])
+        with pytest.raises(ValueError):
+            average_shortest_path_length(g)
+        with pytest.raises(ValueError):
+            diameter(g)
+
+    def test_density_undirected(self):
+        g = SocialDigraph.from_edges([("a", "b"), ("b", "a"), ("b", "c")])
+        # 2 undirected pairs of 3 possible
+        assert density_undirected(g) == pytest.approx(2 / 3)
+
+
+class TestGenerators:
+    def test_random_digraph_hits_target_density(self):
+        rng = random.Random(11)
+        g = random_digraph(range(20), density=0.3, rng=rng)
+        assert density_directed(g) == pytest.approx(0.3, abs=0.05)
+
+    def test_random_digraph_invalid_density(self):
+        with pytest.raises(ValueError):
+            random_digraph(range(5), density=1.5, rng=random.Random(1))
+
+    def test_hub_and_cluster_centers(self):
+        rng = random.Random(12)
+        g = hub_and_cluster_digraph(range(1, 13), rng, hub_count=2)
+        assert radius(g) == 1
+        assert set(center(g)) >= {1, 2}
+
+    def test_hub_count_bound(self):
+        with pytest.raises(ValueError):
+            hub_and_cluster_digraph(range(3), random.Random(1), hub_count=3)
+
+    @given(st.integers(6, 16), st.floats(0.2, 0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_random_digraph_properties(self, n, density):
+        g = random_digraph(range(n), density=density, rng=random.Random(n))
+        assert g.node_count == n
+        assert g.edge_count <= n * (n - 1)
+        for a, b in g.edges():
+            assert a != b

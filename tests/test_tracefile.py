@@ -1,0 +1,169 @@
+"""Tests for contact-trace export/replay and the trace-driven medium."""
+
+import io
+
+import pytest
+
+from repro.geo.point import Point
+from repro.mobility.base import StationaryModel
+from repro.net import Device, Medium
+from repro.net.contact import Contact
+from repro.net.radio import BLUETOOTH, P2P_WIFI
+from repro.net.tracefile import (
+    ContactInterval,
+    TraceMedium,
+    read_contact_trace,
+    write_contact_trace,
+)
+from repro.sim import Simulator
+
+
+class TestContactInterval:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ContactInterval("a", "b", 10.0, 10.0)
+        with pytest.raises(ValueError):
+            ContactInterval("a", "a", 0.0, 10.0)
+
+    def test_duration(self):
+        assert ContactInterval("a", "b", 5.0, 25.0).duration == 20.0
+
+
+class TestFileRoundtrip:
+    def test_write_and_read(self):
+        contacts = [
+            Contact("a", "b", P2P_WIFI, start=10.0, end=50.0),
+            Contact("b", "c", BLUETOOTH, start=20.0, end=30.0),
+        ]
+        buffer = io.StringIO()
+        assert write_contact_trace(contacts, buffer) == 2
+        buffer.seek(0)
+        intervals = read_contact_trace(buffer)
+        assert len(intervals) == 2
+        assert intervals[0].node_a == "a" and intervals[0].end == 50.0
+
+    def test_active_contacts_skipped(self):
+        contacts = [Contact("a", "b", P2P_WIFI, start=10.0, end=None)]
+        buffer = io.StringIO()
+        assert write_contact_trace(contacts, buffer) == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "# header\n\n1.0 2.0 x y\n"
+        intervals = read_contact_trace(io.StringIO(text))
+        assert len(intervals) == 1
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            read_contact_trace(io.StringIO("1.0 2.0 onlythree\n"))
+
+    def test_sorted_by_start(self):
+        text = "50 60 a b\n1 2 c d\n"
+        intervals = read_contact_trace(io.StringIO(text))
+        assert intervals[0].start == 1.0
+
+
+class TestTraceMedium:
+    def _device(self, name):
+        return Device(name, StationaryModel(Point(0, 0)))
+
+    def test_replays_links(self):
+        sim = Simulator()
+        medium = TraceMedium(sim, [ContactInterval("a", "b", 10.0, 50.0)])
+        medium.add_device(self._device("a"))
+        medium.add_device(self._device("b"))
+        ups, downs = [], []
+        medium.on_link_up(lambda a, b, r: ups.append(sim.now))
+        medium.on_link_down(lambda a, b, r: downs.append(sim.now))
+        medium.start()
+        sim.run(until=100.0)
+        assert ups == [10.0] and downs == [50.0]
+        assert medium.contacts.completed[0].duration == 40.0
+
+    def test_link_between_during_interval(self):
+        sim = Simulator()
+        medium = TraceMedium(sim, [ContactInterval("a", "b", 10.0, 50.0)])
+        medium.add_device(self._device("a"))
+        medium.add_device(self._device("b"))
+        medium.start()
+        sim.run(until=20.0)
+        assert medium.link_between("a", "b") is not None
+        assert medium.neighbours_of("a") == ["b"]
+        sim.run(until=60.0)
+        assert medium.link_between("a", "b") is None
+
+    def test_unknown_nodes_ignored(self):
+        sim = Simulator()
+        medium = TraceMedium(sim, [ContactInterval("a", "ghost", 0.5, 5.0)])
+        medium.add_device(self._device("a"))
+        medium.start()
+        sim.run(until=10.0)
+        assert medium.active_links == 0
+
+    def test_powered_off_device_skips_contact(self):
+        sim = Simulator()
+        medium = TraceMedium(sim, [ContactInterval("a", "b", 10.0, 50.0)])
+        device_a = self._device("a")
+        device_a.power_off()
+        medium.add_device(device_a)
+        medium.add_device(self._device("b"))
+        medium.start()
+        sim.run(until=20.0)
+        assert medium.active_links == 0
+
+    def test_full_stack_over_recorded_contacts(self, ca, keypair_pool):
+        """Record contacts from a geometric run, then replay them through
+        the complete AlleyOop stack: deliveries must still happen."""
+        import io as _io
+
+        from repro.mpc import MpcFramework
+        from tests.worldutil import World
+
+        # 1. Record a short geometric run.
+        world = World(ca, keypair_pool)
+        world.add_user("alice")
+        world.add_user("bob")
+        world.start()
+        world.run(120.0)
+        world.medium.stop()
+        buffer = _io.StringIO()
+        write_contact_trace(world.medium.contacts.completed, buffer)
+        buffer.seek(0)
+        intervals = read_contact_trace(buffer)
+        assert intervals, "the recording phase produced no contacts"
+
+        # 2. Replay through a fresh stack (trace node ids are device ids).
+        from repro.alleyoop import AlleyOopApp, CloudService
+        from repro.core.config import SosConfig
+        from repro.crypto.drbg import HmacDrbg
+        from repro.pki.certificate import DistinguishedName
+        from repro.pki.csr import CertificateSigningRequest
+        from repro.pki.keystore import KeyStore
+
+        sim = Simulator(seed=3)
+        medium = TraceMedium(sim, intervals)
+        framework = MpcFramework(sim, medium)
+        cloud = CloudService(ca=ca)
+        apps = {}
+        for i, name in enumerate(["alice", "bob"]):
+            account = cloud.create_account(name, now=0.0)
+            keypair = keypair_pool[i]
+            csr = CertificateSigningRequest.create(
+                DistinguishedName(name), keypair.private, account.user_id
+            )
+            cert = cloud.request_certificate(name, csr, now=0.0)
+            keystore = KeyStore()
+            keystore.provision(keypair.private, cert, cloud.root_certificate)
+            device = Device(f"dev-{name}", StationaryModel(Point(0, 0)))
+            medium.add_device(device)
+            apps[name] = AlleyOopApp(
+                sim, framework, f"dev-{name}", account.user_id, name, keystore,
+                cloud, rng=HmacDrbg.from_int(40 + i),
+                config=SosConfig(relay_request_grace=0.0),
+            )
+        apps["bob"].follow(apps["alice"].user_id)
+        for app in apps.values():
+            app.start()
+        medium.start()
+        apps["alice"].post("over recorded contacts")
+        sim.run(until=intervals[-1].end + 10.0)
+        assert [e.post.text for e in apps["bob"].timeline()] == ["over recorded contacts"]

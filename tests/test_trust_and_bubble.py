@@ -1,0 +1,217 @@
+"""Tests for the trust manager, trust-gated routing and BubbleRap."""
+
+import json
+
+import pytest
+
+from repro.core.routing import BubbleRapRouting, EpidemicRouting
+from repro.core.trust import TrustGatedRouting, TrustManager
+from repro.storage.messagestore import StoredMessage
+from tests.test_routing_protocols import ALICE, BOB, CAROL, FakeServices, msg
+
+
+class TestTrustManager:
+    def test_never_met_scores_zero(self):
+        trust = TrustManager()
+        assert trust.score("stranger", now=100.0) == 0.0
+
+    def test_score_grows_with_encounters(self):
+        trust = TrustManager()
+        score = 0.0
+        for i in range(5):
+            start = i * 1000.0
+            trust.encounter_started(ALICE, start)
+            trust.encounter_ended(ALICE, start + 600.0)
+            new_score = trust.score(ALICE, start + 600.0)
+            assert new_score > score
+            score = new_score
+
+    def test_score_bounded_by_one(self):
+        trust = TrustManager()
+        for i in range(100):
+            trust.encounter_started(ALICE, i * 100.0)
+            trust.encounter_ended(ALICE, i * 100.0 + 99.0)
+        assert trust.score(ALICE, 10_000.0) <= 1.0
+
+    def test_recency_decay(self):
+        trust = TrustManager()
+        trust.encounter_started(ALICE, 0.0)
+        trust.encounter_ended(ALICE, 3600.0)
+        fresh = trust.score(ALICE, 3600.0)
+        stale = trust.score(ALICE, 3600.0 + 30 * 86400.0)
+        assert stale < fresh
+
+    def test_open_encounter_counts_duration(self):
+        trust = TrustManager()
+        trust.encounter_started(ALICE, 0.0)
+        early = trust.score(ALICE, 60.0)
+        later = trust.score(ALICE, 7200.0)
+        assert later > early
+
+    def test_double_start_is_one_encounter(self):
+        trust = TrustManager()
+        trust.encounter_started(ALICE, 0.0)
+        trust.encounter_started(ALICE, 10.0)
+        trust.encounter_ended(ALICE, 100.0)
+        assert trust.record_of(ALICE).count == 1
+
+    def test_ranked(self):
+        trust = TrustManager()
+        for _ in range(5):
+            trust.encounter_started(ALICE, 0.0)
+            trust.encounter_ended(ALICE, 600.0)
+        trust.encounter_started(CAROL, 0.0)
+        trust.encounter_ended(CAROL, 60.0)
+        ranked = trust.ranked(now=600.0)
+        assert ranked[0][0] == ALICE
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TrustManager(weights=(0.5, 0.5, 0.5))
+        with pytest.raises(ValueError):
+            TrustManager(count_scale=0.0)
+
+
+class TestTrustGatedRouting:
+    def _gated(self, min_trust=0.25):
+        router = TrustGatedRouting(EpidemicRouting(), min_trust=min_trust)
+        services = FakeServices(user_id=BOB)
+        router.attach(services)
+        return router, services
+
+    def test_low_trust_peer_refused_relayed_content(self):
+        router, services = self._gated()
+        services.store.add(msg(ALICE, 1, hops=1))  # relayed content
+        served = router.serve_request(CAROL, ALICE, [1])
+        assert served == []
+        assert router.refused == 1
+
+    def test_own_content_never_gated(self):
+        router, services = self._gated()
+        services.store.add(msg(BOB, 1))
+        assert router.serve_request(CAROL, BOB, [1])
+
+    def test_trusted_peer_served(self):
+        router, services = self._gated(min_trust=0.1)
+        services.store.add(msg(ALICE, 1, hops=1))
+        # Build trust through encounters.
+        for i in range(6):
+            services._now = i * 1000.0
+            router.on_peer_secured(CAROL)
+            services._now = i * 1000.0 + 900.0
+            router.on_peer_lost(CAROL)
+        services._now = 6000.0
+        assert router.serve_request(CAROL, ALICE, [1])
+
+    def test_delegation_to_inner(self):
+        router, services = self._gated()
+        router.on_peer_discovered(ALICE, {ALICE: 2})
+        assert services.connects == [ALICE]  # epidemic behaviour preserved
+
+    def test_name_composition(self):
+        router, _ = self._gated()
+        assert router.name == "trusted-epidemic"
+
+    def test_invalid_min_trust(self):
+        with pytest.raises(ValueError):
+            TrustGatedRouting(EpidemicRouting(), min_trust=1.5)
+
+
+class TestBubbleRap:
+    def _bubble(self, subscriptions=()):
+        router = BubbleRapRouting()
+        services = FakeServices(user_id=BOB, subscriptions=subscriptions)
+        router.attach(services)
+        return router, services
+
+    def test_centrality_counts_recent_distinct_peers(self):
+        router, services = self._bubble()
+        services._now = 0.0
+        router.on_peer_secured(ALICE)
+        router.on_peer_secured(CAROL)
+        router.on_peer_secured(ALICE)  # duplicate
+        assert router.centrality() == 2
+        # Outside the window, encounters expire.
+        services._now = router.WINDOW + 10.0
+        router.on_peer_secured("u00000000d")
+        assert router.centrality() == 1
+
+    def test_familiarity_builds_community(self):
+        router, services = self._bubble()
+        services._now = 0.0
+        router.on_peer_secured(ALICE)
+        services._now = router.FAMILIARITY_THRESHOLD + 1.0
+        router.on_peer_lost(ALICE)
+        assert ALICE in router.community
+
+    def test_short_contact_no_community(self):
+        router, services = self._bubble()
+        services._now = 0.0
+        router.on_peer_secured(ALICE)
+        services._now = 60.0
+        router.on_peer_lost(ALICE)
+        assert ALICE not in router.community
+
+    def test_serves_up_centrality_gradient(self):
+        router, services = self._bubble()
+        services.store.add(msg(ALICE, 1, hops=1))
+        # Peer with higher centrality gets the message...
+        router.on_control(CAROL, json.dumps({"centrality": 5, "community": []}).encode())
+        assert router.serve_request(CAROL, ALICE, [1])
+
+    def test_refuses_down_gradient_without_destination(self):
+        router, services = self._bubble()
+        services.store.add(msg(ALICE, 1, hops=1))
+        # Give ourselves high centrality.
+        services._now = 0.0
+        for peer in ("u00000000x", "u00000000y", "u00000000z"):
+            router.on_peer_secured(peer)
+        router.on_control(CAROL, json.dumps({"centrality": 0, "community": []}).encode())
+        assert router.serve_request(CAROL, ALICE, [1]) == []
+
+    def test_destination_community_overrides_gradient(self):
+        router, services = self._bubble()
+        services.store.add(msg(ALICE, 1, hops=1))
+        services._now = 0.0
+        for peer in ("u00000000x", "u00000000y", "u00000000z"):
+            router.on_peer_secured(peer)
+        router.subscriber_hints[ALICE] = {"u00000000s"}
+        router.on_control(
+            CAROL,
+            json.dumps({"centrality": 0, "community": ["u00000000s"]}).encode(),
+        )
+        assert router.serve_request(CAROL, ALICE, [1])
+
+    def test_direct_subscriber_always_served(self):
+        router, services = self._bubble()
+        services.store.add(msg(ALICE, 1, hops=1))
+        router.subscriber_hints[ALICE] = {CAROL}
+        assert router.serve_request(CAROL, ALICE, [1])
+
+    def test_malformed_control_ignored(self):
+        router, _ = self._bubble()
+        router.on_control(ALICE, b"\x00 garbage")  # must not raise
+
+    def test_control_exchanged_on_secure(self):
+        router, services = self._bubble()
+        router.on_peer_discovered(ALICE, {ALICE: 1})
+        router.on_peer_secured(ALICE)
+        assert services.controls
+        payload = json.loads(services.controls[0][1])
+        assert "centrality" in payload and "community" in payload
+
+
+class TestBubbleEndToEnd:
+    def test_bubble_delivers_in_small_world(self, ca, keypair_pool):
+        from repro.core.config import SosConfig
+        from tests.worldutil import World
+
+        world = World(ca, keypair_pool)
+        config = SosConfig(routing_protocol="bubble", relay_request_grace=0.0)
+        alice = world.add_user("alice", config=config)
+        bob = world.add_user("bob", config=config)
+        bob.follow(alice.user_id)
+        world.start()
+        alice.post("bubble works")
+        world.run(180.0)
+        assert [e.post.text for e in bob.timeline()] == ["bubble works"]
