@@ -12,6 +12,14 @@ import pytest
 from repro.experiments import GainesvilleStudy, ScenarioConfig
 
 
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "bench_smoke: tiny-N benchmark smoke checks, cheap enough for any "
+        "CI lane (select with -m bench_smoke)",
+    )
+
+
 @pytest.fixture(scope="session")
 def study():
     """The full 7-day, 10-user, 259-post reconstruction."""

@@ -81,7 +81,11 @@ def cmd_compare(args: argparse.Namespace) -> int:
 def cmd_density(args: argparse.Namespace) -> int:
     config = _config_from(args)
     populations = tuple(int(p) for p in args.populations.split(","))
-    sweep = DensitySweep(base_config=config, populations=populations)
+    sweep = DensitySweep(
+        base_config=config,
+        populations=populations,
+        medium_batched=not args.per_device_medium,
+    )
     sweep.run()
     print(sweep.report())
     return 0
@@ -117,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(density)
     density.add_argument(
         "--populations", default="10,16,24", help="comma-separated population sizes"
+    )
+    density.add_argument(
+        "--per-device-medium",
+        action="store_true",
+        help="use the per-device contact-detection reference path "
+        "(same contacts; for benchmarking the batched engine)",
     )
     density.set_defaults(func=cmd_density)
 

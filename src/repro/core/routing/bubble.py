@@ -26,7 +26,8 @@ State is exchanged in CONTROL frames (JSON: centrality + community).
 from __future__ import annotations
 
 import json
-from typing import Dict, List, Set
+from collections import deque
+from typing import Deque, Dict, List, Set, Tuple
 
 from repro.core.advertisement import interesting_entries
 from repro.core.routing.base import RoutingProtocol
@@ -48,7 +49,10 @@ class BubbleRapRouting(RoutingProtocol):
         self._last_advert: Dict[str, Dict[str, int]] = {}
         self._contact_started: Dict[str, float] = {}
         self._familiarity: Dict[str, float] = {}
-        self._encounters: List[tuple] = []  # (time, peer)
+        # (time, peer), append-right / expire-left: deque makes the
+        # window prune O(1) per expired entry instead of list.pop(0)'s
+        # O(n) shift per encounter.
+        self._encounters: Deque[Tuple[float, str]] = deque()
         self.community: Set[str] = set()
         self._peer_state: Dict[str, dict] = {}
         self.subscriber_hints: Dict[str, Set[str]] = {}
@@ -63,7 +67,7 @@ class BubbleRapRouting(RoutingProtocol):
         self._encounters.append((self.services.now(), peer_user))
         horizon = self.services.now() - self.WINDOW
         while self._encounters and self._encounters[0][0] < horizon:
-            self._encounters.pop(0)
+            self._encounters.popleft()
 
     def _update_familiarity(self, peer_user: str, seconds: float) -> None:
         total = self._familiarity.get(peer_user, 0.0) + seconds

@@ -30,9 +30,15 @@ class DensityPoint:
     median_delay_h: Optional[float]
     disseminations: int
     contacts: int
+    #: Medium instrumentation: ticks run and candidate distance checks
+    #: performed in the spatial index — the contact-detection work the
+    #: batched engine compresses (compare a run against
+    #: ``medium_batched=False`` to see the reduction).
+    medium_ticks: int = 0
+    distance_checks: int = 0
 
     @classmethod
-    def from_study(cls, config: ScenarioConfig, result) -> "DensityPoint":
+    def from_study(cls, config: ScenarioConfig, result, medium=None) -> "DensityPoint":
         area_km2 = config.area[0] * config.area[1] / 1e6
         cdf = result.delay.all_hops
         return cls(
@@ -43,6 +49,8 @@ class DensityPoint:
             median_delay_h=(cdf.median() / 3600.0) if cdf.n else None,
             disseminations=result.disseminations,
             contacts=result.contact_count,
+            medium_ticks=medium.tick_count if medium is not None else 0,
+            distance_checks=medium.distance_checks if medium is not None else 0,
         )
 
 
@@ -54,14 +62,18 @@ class DensitySweep:
         base_config: Optional[ScenarioConfig] = None,
         populations: Sequence[int] = (10, 16, 24),
         scale_meetups_with_population: bool = True,
+        medium_batched: bool = True,
     ) -> None:
         self.base_config = base_config or ScenarioConfig(duration_days=3, total_posts=110)
         self.populations = tuple(populations)
         self.scale_meetups_with_population = scale_meetups_with_population
+        self.medium_batched = medium_batched
         self.points: List[DensityPoint] = []
 
     def _config_for(self, num_users: int) -> ScenarioConfig:
-        config = replace(self.base_config, num_users=num_users)
+        config = replace(
+            self.base_config, num_users=num_users, medium_batched=self.medium_batched
+        )
         if self.scale_meetups_with_population:
             # Meetup opportunities scale with people, not with the map.
             factor = num_users / self.base_config.num_users
@@ -72,8 +84,9 @@ class DensitySweep:
         self.points = []
         for num_users in self.populations:
             config = self._config_for(num_users)
-            result = GainesvilleStudy(config).run()
-            self.points.append(DensityPoint.from_study(config, result))
+            study = GainesvilleStudy(config)
+            result = study.run()
+            self.points.append(DensityPoint.from_study(config, result, medium=study.medium))
         return self.points
 
     def report(self) -> str:
@@ -87,10 +100,19 @@ class DensitySweep:
                     "-" if point.median_delay_h is None else f"{point.median_delay_h:.1f}",
                     point.disseminations,
                     point.contacts,
+                    point.distance_checks,
                 )
             )
         return format_table(
             "Density sweep (the paper's 'higher densities' call, §VI-B)",
-            ("users", "users/km^2", "delivery", "median delay (h)", "transfers", "contacts"),
+            (
+                "users",
+                "users/km^2",
+                "delivery",
+                "median delay (h)",
+                "transfers",
+                "contacts",
+                "pair checks",
+            ),
             rows,
         )

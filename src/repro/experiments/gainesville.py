@@ -137,7 +137,9 @@ class GainesvilleStudy:
             return
         cfg = self.config
         self.sim = Simulator(seed=cfg.seed)
-        self.medium = Medium(self.sim, tick_interval=cfg.medium_tick_s)
+        self.medium = Medium(
+            self.sim, tick_interval=cfg.medium_tick_s, batched=cfg.medium_batched
+        )
         self.framework = MpcFramework(self.sim, self.medium)
         self.cloud = CloudService(
             rng=HmacDrbg.from_int(cfg.seed * 7919 + 1), now=0.0, key_bits=cfg.key_bits
@@ -399,6 +401,10 @@ class GainesvilleStudy:
             if node is None:
                 return
             device = self.devices[node]
+            # Passive read: querying the mobility model here would advance
+            # its integrator at extra intermediate times and perturb the
+            # simulation; the up-to-a-tick-stale tick position is the
+            # observation the real deployment logged anyway.
             position = device.last_position or device.position_at(self.sim.now)
             overlay.add(kind, event.time, position, event.data["owner"])
 

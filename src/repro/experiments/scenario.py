@@ -35,6 +35,11 @@ class ScenarioConfig:
 
     # -- mobility calibration (not published; see EXPERIMENTS.md) -----------------
     medium_tick_s: float = 30.0
+    #: Contact-detection engine: the batched pair sweep (default) or the
+    #: per-device reference path.  Both produce byte-identical contact
+    #: traces for a fixed seed; the flag exists for benchmarking and
+    #: equivalence checks (see "Scaling the medium" in repro.net.medium).
+    medium_batched: bool = True
     campus_radius_m: float = 500.0
     num_social_venues: int = 6
     venues_per_user: Tuple[int, int] = (2, 4)

@@ -6,11 +6,53 @@ every mobility model, refreshes a spatial index, and diffs the in-range
 pair set against the previous tick, emitting ``link_up`` / ``link_down``
 callbacks with the best common radio.  Hysteresis (connect at R, drop at
 R * ``hysteresis``) prevents link flapping at range boundaries — real
-radios behave the same way because of fading margins.
+radios behave the same way because of fading margins.  The drop threshold
+is always derived from the radio the link was *raised* on, so a pair
+whose best common technology would change mid-contact keeps a stable
+survival margin.
+
+Scaling the medium
+==================
+
+Contact detection is the hottest loop of every experiment: it runs once
+per ``tick_interval`` for the whole population, for the whole study.  The
+default engine (``batched=True``) is built for density sweeps with
+thousands of devices:
+
+* **Batched mobility** — devices are grouped by mobility class and each
+  class advances its whole group through one
+  :meth:`~repro.mobility.base.MobilityModel.positions_at` call, then the
+  spatial index absorbs every move via
+  :meth:`~repro.geo.spatial_index.SpatialHashIndex.update_many`.
+* **One pair sweep per tick** — instead of one radius query per device
+  (which visits every pair twice and dedups with a ``seen`` set), the
+  index enumerates each candidate pair exactly once with
+  :meth:`~repro.geo.spatial_index.SpatialHashIndex.pairs_within`.
+* **Incremental link diff** — active links are checked only against the
+  survival threshold of the radio they were raised on; radio resolution
+  (``best_common_radio``) runs once per pair ever, cached, because radio
+  sets are immutable.
+* **Per-pair next-check scheduling** — when both endpoints advertise a
+  speed bound (:meth:`~repro.net.device.Device.max_speed_m_s`), a pair
+  seen far outside its link range is provably out of reach for
+  ``(distance - range) / (v_a + v_b)`` seconds and is skipped until
+  then.  This prunes the per-candidate link logic, not the geometric
+  sweep, so it matters for stationary populations (parked forever once
+  out of range) and short-range radios inside a long-range sweep;
+  fast-moving homogeneous-radio pairs rarely qualify.
+
+The per-device reference path is kept (``batched=False``): it is the
+oracle the scale benchmark diffs against.  Both paths emit link events in
+sorted pair order within a tick, which makes contact traces byte-identical
+across the two engines *and* across processes (cell sets iterate in
+hash order, so unsorted emission would depend on ``PYTHONHASHSEED``).
+See ``benchmarks/test_bench_medium_scale.py`` for throughput numbers and
+the equivalence check, and EXPERIMENTS.md for how to run them.
 """
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.geo.spatial_index import SpatialHashIndex
@@ -21,6 +63,17 @@ from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicTimer
 
 LinkCallback = Callable[[Device, Device, RadioProfile], None]
+
+#: Sentinel "never re-check" horizon for pairs that provably cannot link
+#: (no common radio technology, or two stationary devices out of range).
+_NEVER = math.inf
+
+#: Safety margin (metres) subtracted from the provable out-of-reach gap
+#: before scheduling a skip, absorbing floating-point drift in mobility
+#: integration.  Chosen far above any accumulated rounding error.
+_SCHEDULE_SLACK_M = 1.0
+
+_MISSING = object()
 
 
 class Medium:
@@ -37,6 +90,10 @@ class Medium:
         tighten it in micro-benchmarks when Bluetooth-only fidelity matters.
     hysteresis:
         Link-drop range multiplier (drop at range * hysteresis).
+    batched:
+        Use the batched contact-detection engine (default).  ``False``
+        selects the per-device reference path — same contacts, per-device
+        spatial queries; kept as the benchmark/equivalence oracle.
     """
 
     def __init__(
@@ -44,6 +101,7 @@ class Medium:
         sim: Simulator,
         tick_interval: float = 30.0,
         hysteresis: float = 1.1,
+        batched: bool = True,
     ) -> None:
         if tick_interval <= 0:
             raise ValueError(f"tick_interval must be positive, got {tick_interval}")
@@ -52,6 +110,7 @@ class Medium:
         self.sim = sim
         self.tick_interval = float(tick_interval)
         self.hysteresis = float(hysteresis)
+        self.batched = bool(batched)
         self.devices: Dict[str, Device] = {}
         self.contacts = ContactTracker()
         self._index = SpatialHashIndex(cell_size=120.0)
@@ -59,25 +118,68 @@ class Medium:
         self._up_callbacks: List[LinkCallback] = []
         self._down_callbacks: List[LinkCallback] = []
         self._max_range = 0.0
+        #: device_id -> mobility speed bound (None = unknown).
+        self._speed_bound: Dict[str, Optional[float]] = {}
+        #: device_id -> own maximum radio reach * hysteresis (sweep cutoff).
+        self._reach: Dict[str, float] = {}
+        # Radio resolution is cached per *radio-set class*, not per pair:
+        # radio sets are immutable tuples, so a population carrying k
+        # distinct sets needs at most k^2 best_common_radio calls, ever.
+        self._radio_set_ids: Dict[Tuple[RadioProfile, ...], int] = {}
+        self._radio_class: Dict[str, int] = {}
+        #: (class_a << 16 | class_b) -> (radio, range_m^2) or None.
+        self._class_radio: Dict[int, Optional[Tuple[RadioProfile, float]]] = {}
+        #: pair -> earliest time the pair could possibly come into range.
+        self._next_check: Dict[Tuple[str, str], float] = {}
+        #: mobility-class groups, rebuilt after add/remove.
+        self._groups: Optional[List[Tuple[type, List[Device], list]]] = None
+        # Tick instrumentation (read by the scale bench and sweep reports).
+        self.tick_count = 0
+        self.pairs_examined = 0
+        self.pair_checks_skipped = 0
         self._timer = PeriodicTimer(sim, self.tick_interval, self.tick, name="medium-tick")
 
     # -- population ---------------------------------------------------------------
     def add_device(self, device: Device) -> None:
+        """Register a device.
+
+        The batched engine snapshots the device's mobility object, radio
+        set and speed bound here; none of them may be swapped while the
+        device is registered (``remove_device`` + ``add_device`` to
+        change them).  Power state may change freely at any time.
+        """
         if device.device_id in self.devices:
             raise ValueError(f"duplicate device id {device.device_id!r}")
         self.devices[device.device_id] = device
-        self._max_range = max(
-            self._max_range, max(r.range_m for r in device.radios)
-        )
+        own_range = max(r.range_m for r in device.radios)
+        self._max_range = max(self._max_range, own_range)
+        self._speed_bound[device.device_id] = device.max_speed_m_s()
+        self._reach[device.device_id] = own_range * self.hysteresis
+        set_id = self._radio_set_ids.get(device.radios)
+        if set_id is None:
+            set_id = len(self._radio_set_ids)
+            self._radio_set_ids[device.radios] = set_id
+        self._radio_class[device.device_id] = set_id
+        self._groups = None
         self._index.update(device.device_id, device.position_at(self.sim.now))
 
     def remove_device(self, device_id: str) -> None:
-        device = self.devices.pop(device_id, None)
+        device = self.devices.get(device_id)
         if device is None:
             return
-        self._index.remove(device_id)
-        for key in [k for k in self._linked if device_id in k]:
+        # Drop links while the device is still registered so link-down
+        # callbacks fire with both Device objects — upper layers (sessions,
+        # routing) tear down peer state through exactly those callbacks.
+        for key in sorted(k for k in self._linked if device_id in k):
             self._drop_link(key)
+        del self.devices[device_id]
+        self._index.remove(device_id)
+        self._speed_bound.pop(device_id, None)
+        self._reach.pop(device_id, None)
+        self._radio_class.pop(device_id, None)
+        self._groups = None
+        for key in [k for k in self._next_check if device_id in k]:
+            del self._next_check[key]
 
     # -- callbacks -----------------------------------------------------------------
     def on_link_up(self, callback: LinkCallback) -> None:
@@ -95,47 +197,167 @@ class Medium:
 
     def stop(self) -> None:
         self._timer.stop()
-        for key in list(self._linked):
+        for key in sorted(self._linked):
             self._drop_link(key)
         self.contacts.close_all(self.sim.now)
 
     # -- the tick ---------------------------------------------------------------------
     def tick(self) -> None:
         """Advance positions and rediff the in-range pair set."""
-        now = self.sim.now
-        for device in self.devices.values():
-            self._index.update(device.device_id, device.position_at(now))
+        self.tick_count += 1
+        if self.batched:
+            self._tick_batched(self.sim.now)
+        else:
+            self._tick_per_device(self.sim.now)
+
+    def _mobility_groups(self) -> List[Tuple[type, List[Device], list]]:
+        """Devices bucketed by mobility class (cached between ticks)."""
+        if self._groups is None:
+            buckets: Dict[type, Tuple[type, List[Device], list]] = {}
+            for device in self.devices.values():
+                cls = type(device.mobility)
+                entry = buckets.get(cls)
+                if entry is None:
+                    entry = buckets[cls] = (cls, [], [])
+                entry[1].append(device)
+                entry[2].append(device.mobility)
+            self._groups = list(buckets.values())
+        return self._groups
+
+    def _tick_batched(self, now: float) -> None:
+        """Batched engine: one mobility pass, one pair sweep, incremental
+        link diff (see "Scaling the medium" above)."""
+        devices = self.devices
+        # Advance the population, one batch call per mobility class.
+        index = self._index
+        for mobility_cls, group_devices, models in self._mobility_groups():
+            points = mobility_cls.positions_at(models, now)
+            for device, position in zip(group_devices, points):
+                device._last_position = position
+            index.update_many(zip((d.device_id for d in group_devices), points))
+
+        linked = self._linked
+        radio_class = self._radio_class
+        class_radio = self._class_radio
+        speed_bound = self._speed_bound
+        next_check = self._next_check
+        hysteresis = self.hysteresis
+        tick_interval = self.tick_interval
+        survivors: Set[Tuple[str, str]] = set()
+        to_raise: List[Tuple[Tuple[str, str], RadioProfile]] = []
+        candidates = self._index.pairs_within(
+            self._max_range * hysteresis, reach_of=self._reach
+        )
+        self.pairs_examined += len(candidates)
+        skipped = 0
+        for a, b, d2 in candidates:
+            key = (a, b) if a <= b else (b, a)
+            active = linked.get(key)
+            if active is not None:
+                if not (devices[a].powered_on and devices[b].powered_on):
+                    continue  # dropped below
+                limit = active.range_m * hysteresis
+                if d2 <= limit * limit:
+                    survivors.add(key)
+                continue
+            if not (devices[a].powered_on and devices[b].powered_on):
+                continue
+            horizon = next_check.get(key)
+            if horizon is not None:
+                if now < horizon:
+                    skipped += 1
+                    continue
+                del next_check[key]
+            class_key = (radio_class[key[0]] << 16) | radio_class[key[1]]
+            entry = class_radio.get(class_key, _MISSING)
+            if entry is _MISSING:
+                radio = best_common_radio(devices[key[0]].radios, devices[key[1]].radios)
+                entry = None if radio is None else (radio, radio.range_m * radio.range_m)
+                class_radio[class_key] = entry
+            if entry is None:
+                continue  # no common technology (radio sets are immutable)
+            radio, r2 = entry
+            if d2 <= r2:
+                to_raise.append((key, radio))
+                continue
+            # Out of range: when both speed bounds are known, skip the pair
+            # until it could possibly have closed the gap.
+            va = speed_bound.get(a)
+            vb = speed_bound.get(b)
+            if va is None or vb is None:
+                continue
+            closure = va + vb
+            reach = radio.range_m
+            if closure <= 0.0:
+                next_check[key] = _NEVER  # both pinned, forever apart
+                continue
+            min_skip = reach + _SCHEDULE_SLACK_M + closure * tick_interval
+            if d2 > min_skip * min_skip:
+                next_check[key] = (
+                    now + (math.sqrt(d2) - reach - _SCHEDULE_SLACK_M) / closure
+                )
+        self.pair_checks_skipped += skipped
+        if len(survivors) != len(linked):
+            for key in sorted(k for k in linked if k not in survivors):
+                self._drop_link(key)
+        to_raise.sort(key=lambda item: item[0])
+        for key, radio in to_raise:
+            self._raise_link(key, radio)
+
+    def _tick_per_device(self, now: float) -> None:
+        """Reference engine: per-device spatial queries, pair-set rediff.
+
+        Kept deliberately naive — this is the oracle the batched engine is
+        verified against (identical contact traces) and benchmarked over.
+        """
+        index = self._index
+        devices = self.devices
+        for device in devices.values():
+            index.update(device.device_id, device.position_at(now))
 
         desired: Dict[Tuple[str, str], RadioProfile] = {}
         seen: Set[Tuple[str, str]] = set()
-        for device_id, device in self.devices.items():
+        sweep = self._max_range * self.hysteresis
+        for device_id, device in devices.items():
             if not device.powered_on:
                 continue
-            position = self._index.position_of(device_id)
-            for other_id in self._index.within(position, self._max_range * self.hysteresis, exclude=device_id):
+            position = index.position_of(device_id)
+            for other_id in index.within(position, sweep, exclude=device_id):
                 key = pair_key(device_id, other_id)
                 if key in seen:
                     continue
                 seen.add(key)
-                other = self.devices[other_id]
+                self.pairs_examined += 1
+                other = devices[other_id]
                 if not other.powered_on:
                     continue
-                radio = best_common_radio(device.radios, other.radios)
+                radio = best_common_radio(devices[key[0]].radios, devices[key[1]].radios)
                 if radio is None:
                     continue
-                dist = position.distance_to(self._index.position_of(other_id))
-                if key in self._linked:
-                    # Existing link survives out to the hysteresis margin.
-                    if dist <= radio.range_m * self.hysteresis:
-                        desired[key] = self._linked[key]
-                elif dist <= radio.range_m:
-                    desired[key] = radio
+                # Squared-distance compares with the exact arithmetic of
+                # pairs_within, so the two engines agree even when a pair
+                # lands within a rounding error of a range threshold.
+                other_position = index.position_of(other_id)
+                dx = position.x - other_position.x
+                dy = position.y - other_position.y
+                d2 = dx * dx + dy * dy
+                active = self._linked.get(key)
+                if active is not None:
+                    # Existing link survives out to the hysteresis margin
+                    # of the radio it was *raised* on — not whatever the
+                    # best common technology happens to resolve to now.
+                    limit = active.range_m * self.hysteresis
+                    if d2 <= limit * limit:
+                        desired[key] = active
+                else:
+                    reach = radio.range_m
+                    if d2 <= reach * reach:
+                        desired[key] = radio
 
-        for key in [k for k in self._linked if k not in desired]:
+        for key in sorted(k for k in self._linked if k not in desired):
             self._drop_link(key)
-        for key, radio in desired.items():
-            if key not in self._linked:
-                self._raise_link(key, radio)
+        for key in sorted(k for k in desired if k not in self._linked):
+            self._raise_link(key, desired[key])
 
     def _raise_link(self, key: Tuple[str, str], radio: RadioProfile) -> None:
         self._linked[key] = radio
@@ -178,3 +400,10 @@ class Medium:
     @property
     def active_links(self) -> int:
         return len(self._linked)
+
+    @property
+    def distance_checks(self) -> int:
+        """Cumulative candidate distance computations in the spatial
+        index — the geometric work the batched sweep compresses (the
+        per-device path visits every pair from both ends)."""
+        return self._index.distance_checks

@@ -25,10 +25,13 @@ class Event:
 
     Events are created through :meth:`Simulator.schedule_at` /
     :meth:`Simulator.schedule_in` and can be cancelled.  Cancellation is
-    lazy: the heap entry stays in place and is skipped when popped.
+    lazy: the heap entry stays in place and is skipped when popped — the
+    simulator compacts the heap when cancelled entries pile up, so
+    timer-heavy scenarios (restartable timeouts cancelled on every
+    contact) cannot grow the queue without bound over long runs.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name", "_on_cancel")
 
     def __init__(
         self,
@@ -46,10 +49,15 @@ class Event:
         self.args = args
         self.cancelled = False
         self.name = name or getattr(callback, "__name__", "event")
+        self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
         """Mark the event so the engine skips it when its time comes."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._on_cancel is not None:
+            self._on_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
@@ -73,12 +81,17 @@ class Simulator:
         7-day field study as ``until=7 * 86400``.
     """
 
+    #: Compaction trigger: rebuild the heap once at least this many
+    #: cancelled entries linger *and* they outnumber the live ones.
+    COMPACT_MIN_CANCELLED = 1024
+
     def __init__(self, seed: int = 0, start_time: float = 0.0) -> None:
         self._now = float(start_time)
         self._heap: List[Event] = []
         self._seq = 0
         self._running = False
         self._stopped = False
+        self._cancelled_in_heap = 0
         self.streams = RandomStreams(seed)
         self.trace = TraceRecorder()
         self._step_hooks: List[Callable[[float], None]] = []
@@ -107,9 +120,27 @@ class Simulator:
                 f"cannot schedule event at {time:.6f}, now is {self._now:.6f}"
             )
         event = Event(float(time), priority, self._seq, callback, args, name)
+        event._on_cancel = self._note_cancelled
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        self._cancelled_in_heap += 1
+        if (
+            self._cancelled_in_heap >= self.COMPACT_MIN_CANCELLED
+            and self._cancelled_in_heap * 2 >= len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        O(n) on the surviving events; ``(time, priority, seq)`` keys are
+        unique, so re-heapifying cannot reorder execution."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def schedule_in(
         self,
@@ -156,6 +187,7 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    self._cancelled_in_heap -= 1
                     continue
                 if until is not None and event.time > until:
                     break

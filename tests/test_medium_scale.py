@@ -1,0 +1,388 @@
+"""Regression tests for the batched contact-detection engine and the
+link-lifecycle bugfix sweep that rode along with it:
+
+* ``Medium.remove_device`` fires link-down callbacks (it used to pop the
+  device first and silently skip them),
+* hysteresis survival is keyed to the radio the link was *raised* on,
+* ``SpatialHashIndex`` deletes emptied cells (unbounded-memory fix) and
+  serves the new ``update_many`` / ``pairs_within`` batch APIs,
+* ``Simulator`` compacts cancelled events out of the heap,
+* BubbleRap's encounter window is a deque (O(1) expiry),
+* batched and per-device engines produce byte-identical traces.
+"""
+
+import random
+
+import pytest
+
+from repro.core.routing import BubbleRapRouting
+from repro.geo.point import Point
+from repro.geo.region import Region
+from repro.geo.spatial_index import SpatialHashIndex
+from repro.mobility.base import MobilityModel, StationaryModel
+from repro.mobility.levy import LevyWalk
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.mobility.trace_model import TraceReplayModel, WaypointTrace
+from repro.net.device import Device
+from repro.net.medium import Medium
+from repro.net.radio import BLUETOOTH, DEFAULT_RADIO_SET, P2P_WIFI
+from repro.sim.engine import Simulator
+from repro.sim.process import Timer
+from tests.test_routing_protocols import ALICE, BOB, CAROL, FakeServices
+
+
+class _Script(MobilityModel):
+    """Position follows a scripted piecewise table."""
+
+    def __init__(self, waypoints):
+        self._waypoints = sorted(waypoints)
+
+    def position_at(self, now):
+        position = self._waypoints[0][1]
+        for t, p in self._waypoints:
+            if t <= now:
+                position = p
+        return position
+
+
+def make_world(tick=10.0, batched=True):
+    sim = Simulator(seed=1)
+    medium = Medium(sim, tick_interval=tick, batched=batched)
+    return sim, medium
+
+
+class TestRemoveDeviceCallbacks:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_remove_device_fires_link_down_callbacks(self, batched):
+        """Seed bug: the device was popped from ``devices`` before
+        ``_drop_link``, so down-callbacks could not resolve both Device
+        objects and were silently skipped — AdHocManager and routing
+        leaked peer state for departed devices."""
+        sim, medium = make_world(batched=batched)
+        a = Device("a", StationaryModel(Point(0, 0)))
+        b = Device("b", StationaryModel(Point(30, 0)))
+        medium.add_device(a)
+        medium.add_device(b)
+        downs = []
+        medium.on_link_down(lambda x, y, r: downs.append((x.device_id, y.device_id, r)))
+        medium.start()
+        sim.run(until=20.0)
+        assert medium.link_between("a", "b") is P2P_WIFI
+        medium.remove_device("b")
+        assert downs == [("a", "b", P2P_WIFI)]
+        assert medium.active_links == 0
+        # The contact interval was closed, too.
+        assert medium.contacts.active_count == 0
+        assert medium.contacts.total_contacts() == 1
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_remove_unknown_device_is_noop(self, batched):
+        _, medium = make_world(batched=batched)
+        medium.remove_device("ghost")  # must not raise
+
+    def test_removed_device_pairs_forgotten_by_scheduler(self):
+        sim, medium = make_world(batched=True)
+        # Stationary Bluetooth pair just outside range but inside the
+        # hysteresis sweep: parked forever by the scheduler.
+        medium.add_device(Device("a", StationaryModel(Point(0, 0)), radios=(BLUETOOTH,)))
+        medium.add_device(Device("b", StationaryModel(Point(10.5, 0)), radios=(BLUETOOTH,)))
+        medium.start()
+        sim.run(until=30.0)
+        assert medium._next_check  # pair parked by the scheduler
+        assert medium.pair_checks_skipped > 0
+        medium.remove_device("b")
+        assert not any("b" in key for key in medium._next_check)
+
+
+class TestHysteresisRadioKeying:
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_survival_uses_raised_radio_not_current_best(self, batched):
+        """Seed bug: the survival check used the freshly recomputed best
+        common radio; if that resolution changed mid-contact the drop
+        threshold silently switched.  The link must ride the hysteresis
+        margin of the radio it was raised on."""
+        sim, medium = make_world(batched=batched)
+        a = Device("a", StationaryModel(Point(0, 0)))
+        b = Device(
+            "b",
+            _Script(
+                [(0.0, Point(50, 0)), (25.0, Point(64, 0)), (90.0, Point(70, 0))]
+            ),
+        )
+        medium.add_device(a)
+        medium.add_device(b)
+        downs = []
+        medium.on_link_down(lambda x, y, r: downs.append((x.device_id, y.device_id)))
+        medium.start()
+        sim.run(until=15.0)
+        assert medium.link_between("a", "b") is P2P_WIFI  # raised at 50 m
+        # Mid-contact, b's WiFi goes away (user toggles it off): the best
+        # common technology now resolves to Bluetooth (10 m).  At 64 m the
+        # seed code would compare against 10 * 1.1 and drop the link.
+        b.radios = (BLUETOOTH,)
+        sim.run(until=60.0)
+        assert medium.link_between("a", "b") is P2P_WIFI
+        assert downs == []
+        # Beyond the raised radio's own margin (66 m) the link does drop.
+        sim.run(until=150.0)
+        assert medium.link_between("a", "b") is None
+        assert downs == [("a", "b")]
+
+    @pytest.mark.parametrize("batched", [True, False])
+    def test_asymmetric_radio_sets_link_on_common_radio(self, batched):
+        sim, medium = make_world(batched=batched)
+        medium.add_device(Device("a", StationaryModel(Point(0, 0)), radios=(BLUETOOTH,)))
+        medium.add_device(
+            Device("b", StationaryModel(Point(8, 0)), radios=DEFAULT_RADIO_SET)
+        )
+        medium.start()
+        sim.run(until=20.0)
+        assert medium.link_between("a", "b") is BLUETOOTH
+
+
+class TestSpatialIndexCellLeak:
+    def test_cells_deleted_when_emptied_single_roamer(self):
+        index = SpatialHashIndex(cell_size=10.0)
+        for step in range(500):
+            index.update("walker", Point(step * 10.0, 0.0))
+            assert index.occupied_cells == 1
+        index.remove("walker")
+        assert index.occupied_cells == 0
+        assert len(index) == 0
+
+    def test_cell_count_bounded_under_moving_population(self):
+        """Seed bug: update/remove left empty ``set()`` entries in the
+        defaultdict forever, a true leak over 7-day runs at scale."""
+        index = SpatialHashIndex(cell_size=25.0)
+        rng = random.Random(7)
+        population = 40
+        for step in range(200):
+            for i in range(population):
+                index.update(i, Point(rng.uniform(0, 5000), rng.uniform(0, 5000)))
+            assert index.occupied_cells <= population
+        for i in range(population):
+            index.remove(i)
+        assert index.occupied_cells == 0
+
+    def test_update_many_matches_update(self):
+        loop_index = SpatialHashIndex(cell_size=50.0)
+        bulk_index = SpatialHashIndex(cell_size=50.0)
+        rng = random.Random(13)
+        for step in range(30):
+            moves = [
+                (i, Point(rng.uniform(-400, 400), rng.uniform(-400, 400)))
+                for i in range(25)
+            ]
+            for item, p in moves:
+                loop_index.update(item, p)
+            bulk_index.update_many(moves)
+            assert loop_index.occupied_cells == bulk_index.occupied_cells
+            assert sorted(loop_index.within(Point(0, 0), 300.0)) == sorted(
+                bulk_index.within(Point(0, 0), 300.0)
+            )
+
+    def test_pairs_within_matches_per_item_queries(self):
+        index = SpatialHashIndex(cell_size=60.0)
+        rng = random.Random(3)
+        for i in range(120):
+            index.update(i, Point(rng.uniform(0, 800), rng.uniform(0, 800)))
+        radius = 75.0
+        swept = {(min(a, b), max(a, b)) for a, b, _ in index.pairs_within(radius)}
+        expected = set()
+        for item, position in list(index.items()):
+            for other in index.within(position, radius, exclude=item):
+                expected.add((min(item, other), max(item, other)))
+        assert swept == expected
+
+    def test_pairs_within_per_item_reach(self):
+        index = SpatialHashIndex(cell_size=60.0)
+        index.update("near", Point(0, 0))
+        index.update("far", Point(40, 0))
+        index.update("close", Point(5, 0))
+        reach = {"near": 10.0, "far": 100.0, "close": 10.0}
+        pairs = {(min(a, b), max(a, b)) for a, b, _ in index.pairs_within(100.0, reach_of=reach)}
+        # near-far capped by near's 10 m reach; near-close within both.
+        assert pairs == {("close", "near")}
+
+
+class TestSimulatorHeapCompaction:
+    def test_cancelled_timer_churn_keeps_heap_bounded(self):
+        """Seed behaviour: lazily-cancelled events stayed in the heap
+        until their (possibly far-future) due time — timer-heavy runs
+        grew the queue without bound."""
+        sim = Simulator(seed=0)
+        timer = Timer(sim, lambda: None, name="connection-timeout")
+        peak = [0]
+
+        def churn(i):
+            timer.start(1e9)  # re-arming cancels the previous event
+            peak[0] = max(peak[0], len(sim._heap))
+            if i < 5000:
+                sim.schedule_in(0.01, churn, i + 1)
+
+        sim.schedule_in(0.0, churn, 0)
+        sim.run_until_empty()
+        # 5000 cancelled far-future timeouts would have sat in the seed's
+        # heap; compaction keeps the peak bounded by the trigger level.
+        assert peak[0] <= Simulator.COMPACT_MIN_CANCELLED * 2 + 8
+
+    def test_compaction_preserves_execution_order(self):
+        sim = Simulator(seed=0)
+        sim.COMPACT_MIN_CANCELLED = 8  # force aggressive compaction
+        fired = []
+        keepers = [
+            sim.schedule_at(100.0 + i, fired.append, i, name=f"keep-{i}")
+            for i in range(20)
+        ]
+        doomed = [sim.schedule_at(50.0, fired.append, -1) for _ in range(64)]
+        for event in doomed:
+            event.cancel()
+        sim.run_until_empty()
+        assert fired == list(range(20))
+        assert all(not k.cancelled for k in keepers)
+
+    def test_cancel_remains_idempotent_with_counter(self):
+        sim = Simulator(seed=0)
+        event = sim.schedule_in(10.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim._cancelled_in_heap == 1
+
+
+class TestBubbleEncounterWindow:
+    def test_encounter_window_is_deque_and_expires_left(self):
+        router = BubbleRapRouting()
+        services = FakeServices(user_id=BOB)
+        router.attach(services)
+        from collections import deque
+
+        assert isinstance(router._encounters, deque)
+        services._now = 0.0
+        router.on_peer_secured(ALICE)
+        services._now = router.WINDOW / 2
+        router.on_peer_secured(CAROL)
+        assert router.centrality() == 2
+        # ALICE's encounter ages out of the window; CAROL's survives.
+        services._now = router.WINDOW + 60.0
+        router.on_peer_secured("dave")
+        assert router.centrality() == 2  # carol + dave
+        assert all(t >= services._now - router.WINDOW for t, _ in router._encounters)
+
+    def test_many_encounters_window_stays_small(self):
+        router = BubbleRapRouting()
+        services = FakeServices(user_id=BOB)
+        router.attach(services)
+        for i in range(5000):
+            services._now = float(i)
+            router._note_encounter(f"peer-{i % 7}")
+        assert len(router._encounters) <= router.WINDOW + 1
+
+
+class TestMobilityBatchApi:
+    def test_base_class_fallback_loops_position_at(self):
+        region = Region(0, 0, 1000, 1000)
+        models = [RandomWaypoint(region, random.Random(i)) for i in range(5)]
+        control = [RandomWaypoint(region, random.Random(i)) for i in range(5)]
+        batch = RandomWaypoint.positions_at(models, 120.0)
+        loop = [m.position_at(120.0) for m in control]
+        assert batch == loop
+
+    def test_stationary_batch_short_circuits(self):
+        models = [StationaryModel(Point(i, i)) for i in range(4)]
+        assert StationaryModel.positions_at(models, 99.0) == [
+            Point(i, i) for i in range(4)
+        ]
+
+    def test_speed_bounds(self):
+        region = Region(0, 0, 100, 100)
+        assert StationaryModel(Point(0, 0)).max_speed_m_s() == 0.0
+        rwp = RandomWaypoint(region, random.Random(1), speed_range=(0.5, 3.5))
+        assert rwp.max_speed_m_s() == 3.5
+        levy = LevyWalk(region, random.Random(1), speed_range=(0.8, 2.5))
+        assert levy.max_speed_m_s() == 2.5
+
+        trace = WaypointTrace("n")
+        trace.add(0.0, Point(0, 0))
+        trace.add(10.0, Point(30, 40))  # 5 m/s segment
+        assert TraceReplayModel(trace).max_speed_m_s() == pytest.approx(5.0)
+
+        jumpy = WaypointTrace("j")
+        jumpy.add(0.0, Point(0, 0))
+        jumpy.add(0.0, Point(500, 0))  # teleport: bound unknowable
+        assert TraceReplayModel(jumpy).max_speed_m_s() is None
+
+    def test_unknown_speed_bound_never_skips_checks(self):
+        class Drifter(MobilityModel):
+            def position_at(self, now):
+                return Point(200.0 - now, 0.0)  # unbounded claim: returns None
+
+        sim = Simulator(seed=1)
+        medium = Medium(sim, tick_interval=10.0, batched=True)
+        medium.add_device(Device("a", StationaryModel(Point(0, 0))))
+        medium.add_device(Device("b", Drifter()))
+        medium.start()
+        sim.run(until=250.0)
+        assert medium.pair_checks_skipped == 0
+        assert medium.link_between("a", "b") is P2P_WIFI  # caught on approach
+
+
+class TestEngineEquivalence:
+    def test_batched_and_per_device_traces_identical(self):
+        def run(batched):
+            sim = Simulator(seed=11)
+            medium = Medium(sim, tick_interval=30.0, batched=batched)
+            region = Region(0, 0, 1500, 1500)
+            for i in range(60):
+                rng = random.Random(1000 + i)
+                mobility = (
+                    StationaryModel(region.random_point(rng))
+                    if i % 5 == 0
+                    else RandomWaypoint(region, rng)
+                )
+                radios = (DEFAULT_RADIO_SET, (BLUETOOTH,))[i % 2]
+                medium.add_device(Device(f"d{i:03d}", mobility, radios=radios))
+            medium.start()
+            sim.schedule_at(95.0, medium.devices["d001"].power_off)
+            sim.schedule_at(215.0, medium.devices["d001"].power_on)
+            sim.schedule_at(155.0, medium.remove_device, "d007")
+            sim.run(until=600.0)
+            medium.stop()
+            return [
+                (e.time, e.category, e.kind, tuple(sorted(e.data.items())))
+                for e in sim.trace
+            ]
+
+        batched = run(True)
+        reference = run(False)
+        assert batched == reference
+        assert any(event[1] == "contact" for event in batched)
+
+    def test_medium_tick_instrumentation_counts(self):
+        sim, medium = make_world(batched=True)
+        medium.add_device(Device("a", StationaryModel(Point(0, 0))))
+        medium.add_device(Device("b", StationaryModel(Point(30, 0))))
+        medium.start()
+        sim.run(until=35.0)
+        assert medium.tick_count == 4  # t=0 plus ticks at 10/20/30 s
+        assert medium.pairs_examined >= 1
+        assert medium.distance_checks >= medium.pairs_examined
+
+    def test_batched_engine_compresses_distance_checks(self):
+        def run(batched):
+            sim = Simulator(seed=3)
+            medium = Medium(sim, tick_interval=30.0, batched=batched)
+            region = Region(0, 0, 1200, 1200)
+            for i in range(80):
+                rng = random.Random(500 + i)
+                medium.add_device(
+                    Device(f"d{i:03d}", RandomWaypoint(region, rng))
+                )
+            medium.start()
+            sim.run(until=300.0)
+            return medium
+
+        batched = run(True)
+        reference = run(False)
+        # The sweep visits each candidate pair once; the per-device path
+        # visits every pair from both ends.
+        assert batched.distance_checks < reference.distance_checks

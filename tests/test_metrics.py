@@ -66,6 +66,47 @@ class TestEmpiricalCdf:
         assert all(a <= b for a, b in zip(values, values[1:]))
         assert values[-1] == 1.0
 
+    # -- edge cases the medium-scale bench reads rely on ---------------------
+    def test_empty_everything(self):
+        cdf = EmpiricalCdf([])
+        assert cdf.n == 0
+        assert cdf.samples == ()
+        assert cdf.fraction_at_least(0.0) == 0.0
+        assert cdf.curve() == []
+        assert cdf.series([1, 2]) == [(1.0, 0.0), (2.0, 0.0)]
+        with pytest.raises(ValueError):
+            cdf.mean()
+        with pytest.raises(ValueError):
+            cdf.median()
+
+    def test_quantile_extremes_with_ties(self):
+        cdf = EmpiricalCdf([5.0, 5.0, 5.0, 9.0])
+        assert cdf.quantile(0.0) == 5.0  # smallest sample, not an interpolation
+        assert cdf.quantile(1.0) == 9.0  # largest sample exactly
+        assert cdf.quantile(0.75) == 5.0
+        assert cdf.median() == 5.0
+
+    def test_quantile_rejects_out_of_range_low(self):
+        with pytest.raises(ValueError):
+            EmpiricalCdf([1]).quantile(-0.1)
+
+    def test_all_tied_samples(self):
+        cdf = EmpiricalCdf([7.0] * 5)
+        assert cdf.at(7.0) == 1.0
+        assert cdf.at(6.999) == 0.0
+        assert cdf.fraction_at_least(7.0) == 1.0
+        assert cdf.fraction_greater(7.0) == 0.0
+        assert cdf.quantile(0.0) == cdf.quantile(1.0) == 7.0
+        assert cdf.curve() == [(7.0, 1.0)]
+
+    def test_single_sample(self):
+        cdf = EmpiricalCdf([42.0])
+        assert cdf.n == 1
+        assert cdf.at(41.9) == 0.0
+        assert cdf.at(42.0) == 1.0
+        assert cdf.quantile(0.5) == 42.0
+        assert cdf.mean() == 42.0
+
 
 def build_trace():
     """A tiny hand-built study trace.

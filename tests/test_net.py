@@ -234,3 +234,52 @@ class TestContactTracker:
         tracker.close_all(now=9.0)
         assert tracker.active_count == 0
         assert all(c.duration == 9.0 for c in tracker.completed)
+
+
+class TestInterContactTimes:
+    """Edge cases the medium-scale bench reads rely on."""
+
+    def test_empty_tracker(self):
+        assert ContactTracker().inter_contact_times() == []
+
+    def test_single_contact_has_no_gap(self):
+        tracker = ContactTracker()
+        tracker.contact_up("a", "b", P2P_WIFI, 0.0)
+        tracker.contact_down("a", "b", 10.0)
+        assert tracker.inter_contact_times() == []
+
+    def test_active_contact_excluded_from_gaps(self):
+        tracker = ContactTracker()
+        tracker.contact_up("a", "b", P2P_WIFI, 0.0)
+        tracker.contact_down("a", "b", 10.0)
+        tracker.contact_up("a", "b", P2P_WIFI, 25.0)  # still active
+        assert tracker.inter_contact_times() == []
+
+    def test_back_to_back_contacts_yield_zero_gap(self):
+        tracker = ContactTracker()
+        tracker.contact_up("a", "b", P2P_WIFI, 0.0)
+        tracker.contact_down("a", "b", 10.0)
+        tracker.contact_up("a", "b", P2P_WIFI, 10.0)  # same tick re-up
+        tracker.contact_down("a", "b", 20.0)
+        assert tracker.inter_contact_times() == [0.0]
+
+    def test_gaps_are_per_pair_and_sorted_by_start(self):
+        tracker = ContactTracker()
+        # Pair (a,b): deliberately recorded out of order.
+        tracker.contact_up("a", "b", P2P_WIFI, 100.0)
+        tracker.contact_down("a", "b", 110.0)
+        tracker.contact_up("b", "a", P2P_WIFI, 0.0)  # order-insensitive key
+        tracker.contact_down("b", "a", 10.0)
+        # Pair (a,c): one contact, no gap.
+        tracker.contact_up("a", "c", P2P_WIFI, 50.0)
+        tracker.contact_down("a", "c", 60.0)
+        assert tracker.inter_contact_times() == [90.0]
+
+    def test_tied_starts_do_not_crash_or_double_count(self):
+        tracker = ContactTracker()
+        tracker.contact_up("a", "b", P2P_WIFI, 0.0)
+        tracker.contact_down("a", "b", 0.0)  # zero-length contact
+        tracker.contact_up("a", "b", P2P_WIFI, 0.0)
+        tracker.contact_down("a", "b", 5.0)
+        gaps = tracker.inter_contact_times()
+        assert gaps == [0.0]
