@@ -33,6 +33,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--protocol", default=None, help="routing protocol (default: interest)"
     )
+    parser.add_argument(
+        "--legacy-packet-crypto",
+        action="store_true",
+        help="use the per-packet hybrid-RSA reference path instead of the "
+        "per-link secure-session layer (same traces; for benchmarking)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -45,6 +51,8 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
         kwargs["num_users"] = args.users
     if args.protocol is not None:
         kwargs["routing_protocol"] = args.protocol
+    if args.legacy_packet_crypto:
+        kwargs["session_crypto"] = False
     return ScenarioConfig(**kwargs)
 
 

@@ -14,17 +14,29 @@ Lifecycle of a peer relationship::
 
 Security properties enforced here:
 
-* every non-CERT packet is signed by the sending *peer* and encrypted
-  end-to-end to the receiving peer's public key (hybrid RSA+ChaCha20,
-  with the sender's user id bound as AAD),
+* every non-CERT packet is encrypted and peer-authenticated.  Two wire
+  modes provide this (``SosConfig.session_crypto``):
+
+  - **session** (default): after the certificate exchange, a per-link
+    :class:`~repro.crypto.session.SecureChannel` pays RSA once per
+    sending direction and protects every packet with ChaCha20 +
+    HMAC-SHA256 under hkdf-derived directional keys (frames ``K``/``S``),
+  - **legacy** (the reference oracle): every packet is individually
+    signed by the sending peer and encrypted end-to-end to the receiving
+    peer's public key (hybrid RSA+ChaCha20, frame ``E``).
+
+  Both modes produce byte-identical delivery traces for a fixed seed;
+  end-to-end *originator* signatures on forwarded DATA are independent of
+  either mode and always verified (paper Fig. 3b),
 * a peer whose certificate fails validation is disconnected and ignored
   for ``reconnect_backoff`` seconds,
-* tampered or unverifiable payloads are dropped and reported upward as
-  security events — they never reach the routing layer.
+* tampered, replayed or unverifiable payloads are dropped and reported
+  upward as security events — they never reach the routing layer.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field as dataclass_field
 from typing import Callable, Dict, Optional
 
@@ -34,6 +46,12 @@ from repro.core.errors import SecurityError
 from repro.core.wire import PacketKind, SosPacket, WireError
 from repro.crypto.drbg import RandomSource
 from repro.crypto.rsa import hybrid_decrypt, hybrid_encrypt
+from repro.crypto.session import (
+    DATA_FRAME,
+    KEY_FRAME,
+    SecureChannel,
+    SessionCryptoError,
+)
 from repro.mpc.advertiser import AdvertiserDelegate, Invitation, ServiceAdvertiser
 from repro.mpc.browser import BrowserDelegate, ServiceBrowser
 from repro.mpc.errors import MpcError
@@ -54,6 +72,9 @@ class _PeerState:
     secured: bool = False
     cert_sent: bool = False
     cert_timer: Optional[Timer] = None
+    #: The per-link secure session (session_crypto mode); created lazily
+    #: after the certificate exchange, dropped with the connection.
+    channel: Optional[SecureChannel] = None
 
 
 class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
@@ -84,6 +105,11 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
         self.browser = ServiceBrowser(framework, self.peer_id, config.service_type, delegate=self)
         self._peers: Dict[str, _PeerState] = {}
         self._blacklist_until: Dict[str, float] = {}
+        #: Session-key fingerprints accepted over this manager's lifetime
+        #: (bounded LRU, see session.SEEN_KEY_LIMIT), shared across
+        #: channels so a recorded handshake cannot be replayed at us after
+        #: a disconnect/reconnect cycle.
+        self._seen_session_keys: "OrderedDict[bytes, None]" = OrderedDict()
         # Upward callbacks, wired by the message manager.
         self.on_peer_discovered: Callable[[str, Dict[str, int]], None] = lambda u, a: None
         self.on_peer_lost: Callable[[str], None] = lambda u: None
@@ -96,6 +122,8 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
             "bytes_sent": 0,
             "security_failures": 0,
             "connections_secured": 0,
+            "session_keys_established": 0,
+            "session_keys_accepted": 0,
         }
 
     # -- lifecycle ---------------------------------------------------------------
@@ -165,6 +193,7 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
             return
         if state.cert_timer is not None:
             state.cert_timer.cancel()
+        self._drop_channel(state)
         self.on_peer_lost(peer.display_name)
 
     # -- AdvertiserDelegate ----------------------------------------------------------
@@ -202,6 +231,7 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
             was_secured = state.secured
             state.secured = False
             state.cert_sent = False
+            self._drop_channel(state)
             if was_secured:
                 self.on_peer_lost(user_id)
 
@@ -264,26 +294,57 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
         packet: SosPacket,
         on_complete: Optional[Callable[[bool], None]] = None,
     ) -> None:
-        """Encrypt, sign and send a packet to a *secured* peer."""
+        """Encrypt, authenticate and send a packet to a *secured* peer."""
         state = self._peers.get(user_id)
         if state is None or not state.secured:
             raise SecurityError(f"peer {user_id!r} is not secured")
         plaintext = packet.encode()
         if self.config.require_encryption:
-            peer_cert = self.keystore.peer_certificate(user_id)
-            if peer_cert is None:
-                raise SecurityError(f"no cached certificate for {user_id!r}")
-            signature = self.keystore.private_key.sign(plaintext)
-            framed = (
-                len(plaintext).to_bytes(4, "big") + plaintext + signature
-            )
-            envelope = hybrid_encrypt(
-                peer_cert.public_key, framed, rng=self._rng, aad=self.user_id.encode()
-            )
-            frame = b"E" + envelope
+            if self.config.session_crypto:
+                frame = self._channel_for(state).encrypt(plaintext, self.sim.now)
+            else:
+                peer_cert = self.keystore.peer_certificate(user_id)
+                if peer_cert is None:
+                    raise SecurityError(f"no cached certificate for {user_id!r}")
+                signature = self.keystore.private_key.sign(plaintext)
+                framed = (
+                    len(plaintext).to_bytes(4, "big") + plaintext + signature
+                )
+                envelope = hybrid_encrypt(
+                    peer_cert.public_key, framed, rng=self._rng, aad=self.user_id.encode()
+                )
+                frame = b"E" + envelope
         else:
             frame = b"P" + plaintext
         self._transmit(state.peer, frame, on_complete)
+
+    def _channel_for(self, state: _PeerState) -> SecureChannel:
+        """The peer's secure session, created on first use after the
+        certificate exchange cached its public key."""
+        if state.channel is None:
+            user_id = state.peer.display_name
+            peer_cert = self.keystore.peer_certificate(user_id)
+            if peer_cert is None:
+                raise SecurityError(f"no cached certificate for {user_id!r}")
+            state.channel = SecureChannel(
+                local_user=self.user_id,
+                peer_user=user_id,
+                private_key=self.keystore.private_key,
+                peer_public_key=peer_cert.public_key,
+                rng=self._rng,
+                rekey_interval_s=self.config.session_rekey_interval,
+                rekey_packets=self.config.session_rekey_packets,
+                seen_key_fingerprints=self._seen_session_keys,
+            )
+        return state.channel
+
+    def _drop_channel(self, state: _PeerState) -> None:
+        """Tear down the secure session with the connection; the stats it
+        accumulated survive in the manager's counters."""
+        if state.channel is not None:
+            self.stats["session_keys_established"] += state.channel.stats["keys_established"]
+            self.stats["session_keys_accepted"] += state.channel.stats["keys_accepted"]
+            state.channel = None
 
     def _send_plain(self, peer: PeerID, packet: SosPacket) -> None:
         self._transmit(peer, b"P" + packet.encode(), None)
@@ -309,11 +370,20 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
             if packet.kind is not PacketKind.CERT:
                 if self.config.require_encryption:
                     raise SecurityError("plaintext payload with encryption required")
-            if packet.sender != from_user:
-                raise SecurityError(
-                    f"sender claims {packet.sender!r} but session peer is {from_user!r}"
-                )
+        elif marker in (KEY_FRAME, DATA_FRAME):
+            if not self.config.session_crypto:
+                raise SecurityError("session frame but session crypto is disabled")
+            state = self._peers.get(from_user)
+            if state is None or not state.secured:
+                raise SecurityError(f"payload from unsecured peer {from_user!r}")
+            try:
+                plaintext = self._channel_for(state).decrypt(data, self.sim.now)
+            except SessionCryptoError as exc:
+                raise SecurityError(f"session decryption failed: {exc}") from exc
+            packet = SosPacket.decode(plaintext)
         elif marker == b"E":
+            if self.config.session_crypto:
+                raise SecurityError("per-packet envelope but session crypto is enabled")
             try:
                 framed = hybrid_decrypt(
                     self.keystore.private_key, rest, aad=from_user.encode()
@@ -331,13 +401,13 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
             if not peer_cert.public_key.verify(plaintext, signature):
                 raise SecurityError(f"bad payload signature from {from_user!r}")
             packet = SosPacket.decode(plaintext)
-            if packet.sender != from_user:
-                raise SecurityError(
-                    f"sender claims {packet.sender!r} but session peer is {from_user!r}"
-                )
         else:
             raise WireError(f"unknown frame marker {marker!r}")
 
+        if packet.sender != from_user:
+            raise SecurityError(
+                f"sender claims {packet.sender!r} but session peer is {from_user!r}"
+            )
         self.stats["packets_received"] += 1
         if packet.kind is PacketKind.CERT:
             self._handle_certificate(packet, from_user)
@@ -347,6 +417,16 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
                 raise SecurityError(f"payload from unsecured peer {from_user!r}")
             self.on_packet(packet, from_user)
 
+    def stats_snapshot(self) -> Dict[str, int]:
+        """The stats dict with live channels' key counters folded in
+        (``stats`` itself only accumulates torn-down channels)."""
+        out = dict(self.stats)
+        for state in self._peers.values():
+            if state.channel is not None:
+                out["session_keys_established"] += state.channel.stats["keys_established"]
+                out["session_keys_accepted"] += state.channel.stats["keys_accepted"]
+        return out
+
     # -- failures ------------------------------------------------------------------------
     def _security_failure(self, user_id: str, reason: str) -> None:
         self.stats["security_failures"] += 1
@@ -354,6 +434,7 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
         state = self._peers.get(user_id)
         if state is not None:
             state.secured = False
+            self._drop_channel(state)
             if state.cert_timer is not None:
                 state.cert_timer.cancel()
                 state.cert_timer = None

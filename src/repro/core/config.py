@@ -34,6 +34,17 @@ class SosConfig:
         Security preference: refuse plaintext payload exchange.  The field
         study ran with encryption on; turning it off is only for the
         security-cost ablation bench.
+    session_crypto:
+        Use the per-link secure-session layer (RSA once per link
+        direction, ChaCha20+HMAC per packet — see
+        :mod:`repro.crypto.session`).  Off selects the legacy per-packet
+        hybrid-RSA pipeline, kept as the reference oracle; both modes
+        produce byte-identical delivery/delay traces for a fixed seed.
+    session_rekey_interval:
+        Seconds a session sending key may stay in use before the next
+        packet establishes a fresh one.
+    session_rekey_packets:
+        Packets a session sending key may protect before rekeying.
     certificate_exchange_timeout:
         Seconds to wait for the peer's certificate before dropping the
         session.
@@ -50,6 +61,9 @@ class SosConfig:
     buffer_capacity_bytes: int = 16 * 1024 * 1024
     advertisement_limit: int = 64
     require_encryption: bool = True
+    session_crypto: bool = True
+    session_rekey_interval: float = 3600.0
+    session_rekey_packets: int = 4096
     certificate_exchange_timeout: float = 20.0
     reconnect_backoff: float = 300.0
     relay_request_grace: float = 90.0
@@ -66,3 +80,7 @@ class SosConfig:
             raise ValueError("advertisement_limit must be at least 1")
         if self.certificate_exchange_timeout <= 0:
             raise ValueError("certificate_exchange_timeout must be positive")
+        if self.session_rekey_interval <= 0:
+            raise ValueError("session_rekey_interval must be positive")
+        if self.session_rekey_packets < 1:
+            raise ValueError("session_rekey_packets must be at least 1")

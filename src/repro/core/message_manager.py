@@ -19,13 +19,15 @@ paper Fig. 3b) before any message reaches the routing layer or the app.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+from collections import OrderedDict, deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.adhoc import AdHocManager
 from repro.core.delegates import SosDelegate
 from repro.core.errors import SecurityError
 from repro.core.routing.base import RouterServices, RoutingProtocol
 from repro.core.wire import PacketKind, SosPacket, canonical_message_bytes
+from repro.crypto.hashes import sha256
 from repro.pki.certificate import Certificate, CertificateError
 from repro.sim.engine import Simulator
 from repro.storage.messagestore import MessageStore, StoredMessage
@@ -33,6 +35,13 @@ from repro.storage.messagestore import MessageStore, StoredMessage
 
 class MessageManager(RouterServices):
     """Routing/adhoc glue plus transfer bookkeeping."""
+
+    #: Most recent failed transfers remembered (the §III-C "knows what
+    #: messages were not transferred" record is a diagnosis aid, not an
+    #: unbounded log).
+    UNTRANSFERRED_LIMIT = 512
+    #: Originator-verification memo entries kept (LRU).
+    VERIFY_MEMO_LIMIT = 4096
 
     def __init__(
         self,
@@ -57,15 +66,30 @@ class MessageManager(RouterServices):
         self._requested: Dict[Tuple[str, int], float] = {}
         #: How long an unanswered request suppresses re-requesting.
         self.request_timeout: float = 60.0
+        #: Next time the expired ``_requested`` entries are swept (they
+        #: used to accumulate forever when a request went unanswered).
+        self._requested_sweep_due: float = 0.0
         #: Transfers that failed because the connection dropped — the
         #: §III-C "knows what messages were not transferred" record.
-        self.untransferred: List[Tuple[str, str, int]] = []
+        self.untransferred: Deque[Tuple[str, str, int]] = deque(
+            maxlen=self.UNTRANSFERRED_LIMIT
+        )
+        #: (author, number) -> (digest, cert expiry): DATA bodies whose
+        #: originator signature already RSA-verified on this node.  Copies
+        #: of one message arrive many times (one per carrier encounter);
+        #: the memo verifies each distinct body once instead of once per
+        #: copy.  Cleared whenever the CRL version changes.
+        self._verified_origins: "OrderedDict[Tuple[str, int], Tuple[bytes, float]]" = (
+            OrderedDict()
+        )
+        self._verified_crl_version = adhoc.keystore.revocation_version
         self.stats = {
             "messages_sent": 0,
             "messages_received": 0,
             "duplicates_dropped": 0,
             "originator_rejected": 0,
             "requests_served": 0,
+            "verify_memo_hits": 0,
         }
         adhoc.on_peer_discovered = self._peer_discovered
         adhoc.on_peer_secured = self._peer_secured
@@ -114,8 +138,19 @@ class MessageManager(RouterServices):
     def connect(self, peer_user: str) -> bool:
         return self._adhoc.connect(peer_user)
 
+    def _prune_requested(self, now: float) -> None:
+        """Drop expired request-suppression entries (answered ones are
+        popped on receipt; unanswered ones used to leak forever)."""
+        if now < self._requested_sweep_due:
+            return
+        self._requested_sweep_due = now + self.request_timeout
+        expired = [key for key, expiry in self._requested.items() if expiry <= now]
+        for key in expired:
+            del self._requested[key]
+
     def request_messages(self, peer_user: str, author_id: str, numbers: List[int]) -> None:
         now = self._sim.now
+        self._prune_requested(now)
         fresh = [
             n
             for n in numbers
@@ -242,6 +277,7 @@ class MessageManager(RouterServices):
         if not self._store.add(copy):
             self.stats["duplicates_dropped"] += 1
             return
+        self._requested.pop((message.author_id, message.number), None)
         self.stats["messages_received"] += 1
         self._sim.trace.emit(
             self._sim.now,
@@ -260,15 +296,36 @@ class MessageManager(RouterServices):
 
     def _verify_originator(self, message: StoredMessage, from_user: str) -> bool:
         """Paper Fig. 3b: validate the *author's* forwarded certificate and
-        the author's signature, so tampering at any forwarder is caught."""
+        the author's signature, so tampering at any forwarder is caught.
+
+        A per-node memo short-circuits re-verification of a byte-identical
+        body: the RSA work runs once per ``(author, number)`` body, not
+        once per received copy.  A memo entry is only trusted while the
+        author certificate it was built from is unexpired and the CRL has
+        not changed since (revocation sync clears the memo)."""
+        now = self._sim.now
+        keystore = self._adhoc.keystore
+        if keystore.revocation_version != self._verified_crl_version:
+            self._verified_origins.clear()
+            self._verified_crl_version = keystore.revocation_version
+        canonical = canonical_message_bytes(
+            message.author_id, message.number, message.created_at, message.body
+        )
+        digest = sha256(canonical + message.signature + message.author_cert)
+        memo_key = (message.author_id, message.number)
+        memo = self._verified_origins.get(memo_key)
+        if memo is not None and memo[0] == digest and now < memo[1]:
+            self._verified_origins.move_to_end(memo_key)
+            self.stats["verify_memo_hits"] += 1
+            return True
         try:
             author_cert = Certificate.decode(message.author_cert)
         except CertificateError:
             self.stats["originator_rejected"] += 1
             self.delegate.sos_security_event(from_user, "undecodable originator certificate")
             return False
-        result = self._adhoc.keystore.validate_and_cache(
-            author_cert, self._sim.now, expected_user_id=message.author_id
+        result = keystore.validate_and_cache(
+            author_cert, now, expected_user_id=message.author_id
         )
         if not result.ok:
             self.stats["originator_rejected"] += 1
@@ -276,11 +333,12 @@ class MessageManager(RouterServices):
                 from_user, f"originator certificate rejected: {result.value}"
             )
             return False
-        canonical = canonical_message_bytes(
-            message.author_id, message.number, message.created_at, message.body
-        )
         if not author_cert.public_key.verify(canonical, message.signature):
             self.stats["originator_rejected"] += 1
             self.delegate.sos_security_event(from_user, "originator signature invalid")
             return False
+        self._verified_origins[memo_key] = (digest, author_cert.not_after)
+        self._verified_origins.move_to_end(memo_key)
+        while len(self._verified_origins) > self.VERIFY_MEMO_LIMIT:
+            self._verified_origins.popitem(last=False)
         return True

@@ -172,4 +172,4 @@ class SOSMiddleware:
 
     @property
     def security_stats(self) -> Dict[str, int]:
-        return dict(self.adhoc.stats)
+        return self.adhoc.stats_snapshot()

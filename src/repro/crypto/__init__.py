@@ -13,6 +13,8 @@ dependency outside the standard library:
 * :mod:`repro.crypto.chacha` — the ChaCha20 stream cipher (RFC 7539 core)
   used as the symmetric half of hybrid encryption,
 * :mod:`repro.crypto.kdf` — HKDF (RFC 5869) for session-key derivation,
+* :mod:`repro.crypto.session` — the per-link secure-session layer
+  (RSA once per link direction, ChaCha20+HMAC per packet),
 * :mod:`repro.crypto.drbg` — a deterministic HMAC-DRBG so experiments are
   reproducible from a seed (real deployments should inject ``os.urandom``),
 * :mod:`repro.crypto.hashes` — digest helpers and constant-time compare.
@@ -34,6 +36,7 @@ from repro.crypto.rsa import (
     hybrid_decrypt,
     hybrid_encrypt,
 )
+from repro.crypto.session import SecureChannel, SessionCryptoError
 
 __all__ = [
     "HmacDrbg",
@@ -53,4 +56,6 @@ __all__ = [
     "generate_keypair",
     "hybrid_encrypt",
     "hybrid_decrypt",
+    "SecureChannel",
+    "SessionCryptoError",
 ]

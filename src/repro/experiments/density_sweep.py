@@ -71,8 +71,12 @@ class DensitySweep:
         self.points: List[DensityPoint] = []
 
     def _config_for(self, num_users: int) -> ScenarioConfig:
+        # Crypto mode rides base_config (ScenarioConfig.session_crypto);
+        # medium_batched stays an explicit engine toggle (PR 1 API).
         config = replace(
-            self.base_config, num_users=num_users, medium_batched=self.medium_batched
+            self.base_config,
+            num_users=num_users,
+            medium_batched=self.medium_batched,
         )
         if self.scale_meetups_with_population:
             # Meetup opportunities scale with people, not with the map.

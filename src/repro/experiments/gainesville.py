@@ -186,6 +186,7 @@ class GainesvilleStudy:
             sos_config = SosConfig(
                 routing_protocol=cfg.routing_protocol,
                 require_encryption=cfg.require_encryption,
+                session_crypto=cfg.session_crypto,
                 relay_request_grace=cfg.relay_request_grace,
             )
             self.apps[node] = AlleyOopApp(

@@ -110,6 +110,12 @@ class ScenarioConfig:
     # -- security ----------------------------------------------------------------------
     key_bits: int = 1024
     require_encryption: bool = True
+    #: Packet protection engine: the per-link secure-session layer
+    #: (default) or the legacy per-packet hybrid-RSA pipeline.  Both
+    #: produce byte-identical delivery/delay traces for a fixed seed; the
+    #: flag exists for benchmarking and equivalence checks (see
+    #: repro.crypto.session and benchmarks/test_bench_crypto.py).
+    session_crypto: bool = True
 
     #: Cloud availability after sign-up.  The reproduction keeps it off to
     #: prove the "one-time infrastructure" property; deliveries are D2D.

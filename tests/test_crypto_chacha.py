@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
+from repro.crypto import chacha
 from repro.crypto.chacha import ChaCha20, chacha20_decrypt, chacha20_encrypt
 
 
@@ -61,6 +62,49 @@ class TestProperties:
         part = cipher.crypt(b"\x00" * 50) + cipher.crypt(b"\x00" * 50)
         whole = ChaCha20(key, nonce).crypt(b"\x00" * 100)
         assert part == whole
+
+
+class TestVectorisedPaths:
+    """The numpy multi-block path, the scalar multi-block path and the
+    one-block-at-a-time block function must all emit the same stream."""
+
+    @pytest.mark.parametrize(
+        "size", [0, 1, 63, 64, 65, 100, 256, 257, 511, 512, 513, 1024, 4096]
+    )
+    def test_numpy_and_scalar_chunks_identical(self, size):
+        key, nonce = bytes(range(32)), bytes(range(12))
+        data = bytes((i * 7 + 3) % 256 for i in range(size))
+        with_numpy = ChaCha20(key, nonce, counter=9).crypt(data)
+        saved = chacha._np
+        chacha._np = None
+        try:
+            without_numpy = ChaCha20(key, nonce, counter=9).crypt(data)
+        finally:
+            chacha._np = saved
+        assert with_numpy == without_numpy
+
+    def test_chunks_match_single_blocks(self):
+        cipher = ChaCha20(bytes(range(32)), bytes(range(12)))
+        chunk = cipher._chunk(7, 20)
+        blocks = b"".join(cipher._block(7 + i) for i in range(20))
+        assert chunk == blocks
+
+    def test_counter_wraps_like_scalar_stream(self):
+        key, nonce = bytes(32), bytes(12)
+        start = 2**32 - 2  # the chunk spans the 32-bit counter wrap
+        spanning = ChaCha20(key, nonce, counter=start).keystream(5 * 64)
+        reference = b"".join(
+            ChaCha20(key, nonce)._block((start + i) & 0xFFFFFFFF) for i in range(5)
+        )
+        assert spanning == reference
+
+    def test_prefetch_only_buffers(self):
+        plain = ChaCha20(bytes(32), bytes(12))
+        ahead = ChaCha20(bytes(32), bytes(12))
+        ahead.prefetch_blocks = 128
+        pieces = [ahead.crypt(b"\x05" * n) for n in (10, 700, 1, 64, 3000)]
+        whole = plain.crypt(b"\x05" * sum(len(p) for p in pieces))
+        assert b"".join(pieces) == whole
 
 
 class TestValidation:

@@ -16,9 +16,12 @@ from repro.storage.messagestore import StoredMessage
 from tests.worldutil import World
 
 
-@pytest.fixture()
-def world(ca, keypair_pool):
-    return World(ca, keypair_pool)
+@pytest.fixture(params=[True, False], ids=["session", "legacy"])
+def world(ca, keypair_pool, request):
+    """Every attack here must be rejected under both packet-crypto wire
+    formats: the per-link secure-session layer and the legacy per-packet
+    hybrid-RSA reference path."""
+    return World(ca, keypair_pool, session_crypto=request.param)
 
 
 def connected_pair(world):
@@ -136,7 +139,7 @@ class TestEncryptionPreference:
 
     def test_encrypted_frames_not_readable_by_third_party(self, world):
         """Confidentiality: captured session bytes cannot be decrypted by
-        a non-recipient key."""
+        a non-recipient key — in either wire format."""
         captured = []
         alice = world.add_user("alice")
         bob = world.add_user("bob")
@@ -152,15 +155,27 @@ class TestEncryptionPreference:
         world.start()
         alice.post("secret text")
         world.run(120.0)
-        encrypted = [f for f in captured if f[:1] == b"E"]
+        encrypted = [f for f in captured if f[:1] in (b"E", b"K", b"S")]
         assert encrypted, "expected at least one encrypted frame"
         from repro.crypto.rsa import hybrid_decrypt
 
+        eve_key = eve.sos.adhoc.keystore.private_key
         for frame in encrypted:
-            with pytest.raises(ValueError):
-                hybrid_decrypt(
-                    eve.sos.adhoc.keystore.private_key, frame[1:], aad=alice.user_id.encode()
-                )
+            if frame[:1] == b"E":
+                with pytest.raises(ValueError):
+                    hybrid_decrypt(eve_key, frame[1:], aad=alice.user_id.encode())
+            elif frame[:1] == b"K":
+                # The session master is RSA-wrapped to bob; eve's private
+                # key must fail the OAEP unwrap itself.
+                wrap_len = int.from_bytes(frame[1:3], "big")
+                wrapped_master = frame[3 : 3 + wrap_len]
+                with pytest.raises(ValueError):
+                    eve_key.decrypt(wrapped_master)
+        assert any(f[:1] == b"K" for f in encrypted) or any(
+            f[:1] == b"E" for f in encrypted
+        )
+        # The plaintext never appears on the wire in either mode.
+        assert all(b"secret text" not in frame for frame in captured)
 
     def test_encryption_can_be_disabled_for_ablation(self, world):
         config = SosConfig(routing_protocol="interest", require_encryption=False,

@@ -25,12 +25,22 @@ from repro.sim.engine import Simulator
 class World:
     """A small in-memory deployment for tests."""
 
-    def __init__(self, ca, keypair_pool, tick: float = 10.0, seed: int = 1) -> None:
+    def __init__(
+        self,
+        ca,
+        keypair_pool,
+        tick: float = 10.0,
+        seed: int = 1,
+        session_crypto: bool = True,
+    ) -> None:
         self.sim = Simulator(seed=seed)
         self.medium = Medium(self.sim, tick_interval=tick)
         self.framework = MpcFramework(self.sim, self.medium)
         self.cloud = CloudService(ca=ca)
         self._keypair_pool = keypair_pool
+        #: Default packet-crypto mode for users added without an explicit
+        #: config (tests parametrise this to cover both wire formats).
+        self.session_crypto = session_crypto
         self.apps: Dict[str, AlleyOopApp] = {}
         self.devices: Dict[str, Device] = {}
 
@@ -64,7 +74,12 @@ class World:
             keystore=keystore,
             cloud=self.cloud,
             rng=HmacDrbg.from_int(9000 + index),
-            config=config or SosConfig(routing_protocol="interest", relay_request_grace=0.0),
+            config=config
+            or SosConfig(
+                routing_protocol="interest",
+                relay_request_grace=0.0,
+                session_crypto=self.session_crypto,
+            ),
         )
         self.apps[name] = app
         if start:
