@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Documentation checks: module doctests + markdown link integrity.
+
+Run from the repo root (the CI docs lane does)::
+
+    PYTHONPATH=src python scripts/check_docs.py
+
+Two passes, both dependency-free:
+
+1. **doctests** — executes the runnable examples embedded in the
+   documented module headers (``doctest.testmod`` on the imported
+   modules; ``python -m doctest <file>`` would put ``src/repro/crypto``
+   on ``sys.path`` and shadow stdlib modules like ``numbers``).
+2. **links** — every relative markdown link / inline file reference in
+   the user-facing docs must point at a path that exists, so the README
+   cannot rot silently as the tree moves.
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+
+#: Modules whose headers carry runnable examples.
+DOCTEST_MODULES = (
+    "repro.crypto.session",
+    "repro.crypto.drbg",
+    "repro.pki.keystore",
+    "repro.pki.provisioning",
+)
+
+#: User-facing documents whose links must resolve.
+LINKED_DOCS = ("README.md", "docs/ARCHITECTURE.md", "EXPERIMENTS.md")
+
+_MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)\)")
+_CODE_PATH = re.compile(r"`((?:src|docs|tests|benchmarks|examples|scripts)/[A-Za-z0-9_./-]+)`")
+
+
+def run_doctests() -> int:
+    failures = 0
+    for name in DOCTEST_MODULES:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        status = "ok" if result.failed == 0 else "FAILED"
+        print(f"doctest {name}: {result.attempted} examples, {result.failed} failed [{status}]")
+        if result.attempted == 0:
+            print(f"doctest {name}: FAILED (no examples found — header example removed?)")
+            failures += 1
+        failures += result.failed
+    return failures
+
+
+def check_links(root: Path) -> int:
+    failures = 0
+    for doc in LINKED_DOCS:
+        path = root / doc
+        if not path.is_file():
+            print(f"links {doc}: FAILED (document missing)")
+            failures += 1
+            continue
+        text = path.read_text()
+        targets = set(_MD_LINK.findall(text)) | set(_CODE_PATH.findall(text))
+        broken = sorted(
+            target
+            for target in targets
+            if "://" not in target and not (path.parent / target).exists()
+            and not (root / target).exists()
+        )
+        status = "ok" if not broken else "FAILED"
+        print(f"links {doc}: {len(targets)} targets, {len(broken)} broken [{status}]")
+        for target in broken:
+            print(f"  broken: {target}")
+        failures += len(broken)
+    return failures
+
+
+def main() -> int:
+    root = Path(__file__).resolve().parent.parent
+    failures = run_doctests() + check_links(root)
+    if failures:
+        print(f"\n{failures} documentation check(s) failed")
+        return 1
+    print("\nall documentation checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,6 +94,36 @@ class CloudService:
         self.stats["certificates_issued"] += 1
         return certificate
 
+    def fulfil_deferred_certificate(
+        self,
+        username: str,
+        csr: CertificateSigningRequest,
+        serial: int,
+        signup_time: float,
+    ) -> Certificate:
+        """Complete a lazily-deferred Fig. 2a issuance.
+
+        Lazy provisioning (:mod:`repro.pki.provisioning`) reserves the
+        account and certificate serial while the cloud is reachable and
+        defers the CPU-heavy part (key generation, CSR, CA signature) to
+        first use.  Deferral is a *simulator* optimisation, not a protocol
+        change: the certificate produced here is byte-identical to the one
+        the eager flow would have issued at ``signup_time`` — same serial
+        (reserved back then), same validity window — so this method
+        deliberately skips the online check that a genuinely *new*
+        issuance would require.
+        """
+        account = self.account_for(username)
+        try:
+            certificate = self.ca.issue(
+                csr, now=signup_time, expected_user_id=account.user_id, serial=serial
+            )
+        except CertificateError as exc:
+            raise CloudError(f"certificate issuance refused: {exc}") from exc
+        account.certificate_serial = certificate.serial
+        self.stats["certificates_issued"] += 1
+        return certificate
+
     @property
     def root_certificate(self) -> Certificate:
         return self.ca.root_certificate

@@ -20,9 +20,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import Optional
+
 from repro.alleyoop.cloud import CloudService
 from repro.crypto.drbg import RandomSource
-from repro.crypto.rsa import generate_keypair
+from repro.crypto.rsa import RsaKeyPair, generate_keypair
 from repro.pki.certificate import Certificate, DistinguishedName
 from repro.pki.csr import CertificateSigningRequest
 from repro.pki.keystore import KeyStore
@@ -30,12 +32,17 @@ from repro.pki.keystore import KeyStore
 
 @dataclass(frozen=True)
 class SignupResult:
-    """Everything a device leaves sign-up with."""
+    """Everything a device leaves sign-up with.
+
+    ``certificate`` is ``None`` under *lazy* provisioning
+    (:mod:`repro.pki.provisioning`): the placeholder keystore issues it on
+    first use; read ``keystore.own_certificate`` to force it.
+    """
 
     username: str
     user_id: str
     keystore: KeyStore
-    certificate: Certificate
+    certificate: Optional[Certificate]
 
 
 def sign_up(
@@ -44,12 +51,17 @@ def sign_up(
     rng: RandomSource,
     now: float,
     key_bits: int = 1024,
+    keypair: Optional[RsaKeyPair] = None,
 ) -> SignupResult:
     """Run the Fig. 2a flow end to end.  Raises
     :class:`~repro.alleyoop.cloud.CloudError` if the cloud is offline —
-    sign-up is the one step that genuinely needs the Internet."""
+    sign-up is the one step that genuinely needs the Internet.
+
+    ``keypair`` injects a pre-generated key pair (the keypair-pool path of
+    :mod:`repro.pki.provisioning`); by default a fresh one is generated
+    from ``rng``, which is the paper's on-device keygen."""
     account = cloud.create_account(username, now=now)
-    keypair = generate_keypair(key_bits, rng=rng)
+    keypair = keypair or generate_keypair(key_bits, rng=rng)
     csr = CertificateSigningRequest.create(
         subject=DistinguishedName(common_name=username),
         private_key=keypair.private,

@@ -17,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.routing.registry import RoutingRegistry
+from repro.pki.provisioning import PROVISIONING_MODES
 from repro.experiments import (
     DensitySweep,
     GainesvilleStudy,
@@ -39,6 +40,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="use the per-packet hybrid-RSA reference path instead of the "
         "per-link secure-session layer (same traces; for benchmarking)",
     )
+    parser.add_argument(
+        "--provisioning",
+        choices=PROVISIONING_MODES,
+        default=None,
+        help="identity provisioning strategy: eager on-device keygen at "
+        "sign-up (default, the reference oracle), pooled deterministic "
+        "keypair cache, or lazy first-use materialisation (same traces; "
+        "pooled/lazy make large-N secured builds tractable)",
+    )
+    parser.add_argument(
+        "--key-cache",
+        metavar="DIR",
+        default=None,
+        help="on-disk keypair-pool directory for --provisioning pooled/lazy "
+        "(default: $REPRO_KEY_CACHE, else memory-only)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="worker processes: parallel keypair prefetch for pooled "
+        "provisioning, and parallel sweep points for the density command",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -53,6 +77,12 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
         kwargs["routing_protocol"] = args.protocol
     if args.legacy_packet_crypto:
         kwargs["session_crypto"] = False
+    if args.provisioning is not None:
+        kwargs["provisioning"] = args.provisioning
+    if args.key_cache is not None:
+        kwargs["key_cache_dir"] = args.key_cache
+    if args.workers != 1:
+        kwargs["provisioning_workers"] = args.workers
     return ScenarioConfig(**kwargs)
 
 
@@ -93,6 +123,7 @@ def cmd_density(args: argparse.Namespace) -> int:
         base_config=config,
         populations=populations,
         medium_batched=not args.per_device_medium,
+        workers=args.workers,
     )
     sweep.run()
     print(sweep.report())

@@ -9,6 +9,17 @@ with two implementations:
   seeded deterministically.  Used by simulations and tests.
 * :class:`SystemRandomSource` — thin wrapper over ``os.urandom`` for any
   real use.
+
+Equal seeds give equal streams, and :meth:`HmacDrbg.spawn` derives
+independent labelled substreams when a consumer needs several unrelated
+streams from one seed::
+
+    >>> HmacDrbg.from_int(7).read(4) == HmacDrbg.from_int(7).read(4)
+    True
+    >>> a = HmacDrbg.from_int(7).spawn(b"worker-0").read(4)
+    >>> b = HmacDrbg.from_int(7).spawn(b"worker-1").read(4)
+    >>> a == b
+    False
 """
 
 from __future__ import annotations
@@ -88,6 +99,21 @@ class HmacDrbg(RandomSource):
         """Mix fresh material into the state."""
         self._update(material)
         self._generated = 0
+
+    def spawn(self, label: bytes) -> "HmacDrbg":
+        """Derive an independent child stream bound to ``label``.
+
+        The child is seeded from 32 parent bytes mixed with the label, so
+        distinct labels give unrelated streams and the derivation is a
+        pure function of (parent seed, reads so far, label).  Note that
+        spawning advances the parent stream by one 32-byte read.  (The
+        provisioning pool does *not* use this: its workers each derive a
+        whole DRBG from their ``(bits, seed, index)`` spec, which is the
+        stronger per-entry determinism.)
+        """
+        if not label:
+            raise ValueError("spawn requires a non-empty label")
+        return HmacDrbg(self.read(32) + b"|" + label)
 
     def read(self, n: int) -> bytes:
         if n < 0:

@@ -158,19 +158,46 @@ class RsaKeyPair:
         return self.private.public_key()
 
 
+class KeyGenerationError(ValueError):
+    """RSA key generation exhausted its retry budget.
+
+    With a healthy random source the retry paths (``p == q``, a modulus
+    one bit short, an exponent sharing a factor with phi) each trigger
+    with negligible probability, so hitting the budget means the
+    :class:`~repro.crypto.drbg.RandomSource` is broken or stuck — the
+    failure the bound exists to surface instead of spinning forever.
+    """
+
+
+#: Prime-pair draws before :func:`generate_keypair` gives up.  Each draw
+#: independently succeeds with overwhelming probability, so 64 failures
+#: indicate a degenerate random source, not bad luck.
+DEFAULT_KEYGEN_ATTEMPTS = 64
+
+
 def generate_keypair(
     bits: int = 1024,
     rng: Optional[RandomSource] = None,
     exponent: int = _DEFAULT_EXPONENT,
+    max_attempts: int = DEFAULT_KEYGEN_ATTEMPTS,
 ) -> RsaKeyPair:
-    """Generate an RSA key pair with an exactly-``bits`` modulus."""
+    """Generate an RSA key pair with an exactly-``bits`` modulus.
+
+    Deterministic for a fixed deterministic ``rng``: every retry redraws
+    *both* primes from the same stream, so two calls with equally-seeded
+    DRBGs produce identical key pairs even when a retry path fires.
+    Raises :class:`KeyGenerationError` after ``max_attempts`` failed
+    prime-pair draws rather than looping forever on a stuck source.
+    """
     if bits < 512:
         raise ValueError(f"modulus must be at least 512 bits, got {bits}")
     if bits % 2:
         raise ValueError("modulus bit size must be even")
+    if max_attempts < 1:
+        raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
     rng = rng or SystemRandomSource()
     half = bits // 2
-    while True:
+    for _ in range(max_attempts):
         p = generate_prime(half, rng)
         q = generate_prime(half, rng)
         if p == q:
@@ -185,6 +212,10 @@ def generate_keypair(
             continue  # exponent not coprime with phi; rare, redraw primes
         private = RsaPrivateKey(n=n, e=exponent, d=d, p=p, q=q)
         return RsaKeyPair(private=private)
+    raise KeyGenerationError(
+        f"no usable prime pair after {max_attempts} attempts "
+        f"({bits}-bit modulus); the random source looks degenerate"
+    )
 
 
 # ---------------------------------------------------------------------------

@@ -68,6 +68,33 @@ simulated radio model: padding keeps transfer durations — and therefore
 the full delivery/delay trace of any fixed-seed scenario — byte-identical
 between the two crypto modes, which is what lets the legacy path serve
 as the reference oracle.
+
+Example
+-------
+
+Two endpoints, each holding its own private key and the peer's public
+key (learned from the certificate exchange), exchanging one packet per
+direction (1024-bit simulation keys)::
+
+    >>> from repro.crypto.drbg import HmacDrbg
+    >>> from repro.crypto.rsa import generate_keypair
+    >>> alice_keys = generate_keypair(1024, rng=HmacDrbg.from_int(41))
+    >>> bob_keys = generate_keypair(1024, rng=HmacDrbg.from_int(42))
+    >>> alice = SecureChannel("alice", "bob", alice_keys.private,
+    ...                       bob_keys.public, rng=HmacDrbg.from_int(7))
+    >>> bob = SecureChannel("bob", "alice", bob_keys.private,
+    ...                     alice_keys.public, rng=HmacDrbg.from_int(8))
+    >>> frame = alice.encrypt(b"over the top", now=0.0)   # K frame: pays RSA
+    >>> frame[:1] == KEY_FRAME
+    True
+    >>> bob.decrypt(frame, now=0.0)
+    b'over the top'
+    >>> alice.encrypt(b"again", now=1.0)[:1] == DATA_FRAME  # symmetric only
+    True
+    >>> bob.decrypt(frame, now=1.0)    # replaying the key frame is rejected
+    Traceback (most recent call last):
+        ...
+    repro.crypto.session.SessionCryptoError: replayed session key frame
 """
 
 from __future__ import annotations
@@ -221,6 +248,16 @@ class SecureChannel:
         The first call (and the first after a rekey trigger) pays the
         per-direction RSA establishment and emits a key frame; every
         other call is purely symmetric.
+
+        Args:
+            plaintext: The packet bytes to protect.
+            now: Current time (drives the time-based rekey budget and
+                stamps the key's establishment time).
+
+        Returns:
+            The wire frame — a ``K`` (key) or ``S`` (data) frame padded
+            to the legacy envelope length for this plaintext, ready for
+            the one-frame MPC transport.
         """
         send = self._send
         if send is None or self._needs_rekey(send, now):
@@ -279,8 +316,21 @@ class SecureChannel:
         return candidate, fingerprint, at + 2 + sig_len
 
     def decrypt(self, frame: bytes, now: float) -> bytes:
-        """Authenticate and open one session frame; raises
-        :class:`SessionCryptoError` on any tampering, replay or reorder."""
+        """Authenticate and open one session frame.
+
+        Args:
+            frame: One wire frame as produced by the peer's
+                :meth:`encrypt` (key or data frame).
+            now: Current time (stamps a freshly accepted key).
+
+        Returns:
+            The frame's plaintext packet bytes.
+
+        Raises:
+            SessionCryptoError: On any tampering, truncation, replay,
+                reorder, unknown marker, or a data frame arriving before
+                any key was established.
+        """
         if not frame:
             raise SessionCryptoError("empty session frame")
         marker = frame[:1]

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.experiments.gainesville import GainesvilleStudy
 from repro.experiments.scenario import ScenarioConfig
 from repro.metrics.report import format_table
+from repro.sim.parallel import parallel_map
 
 
 @dataclass(frozen=True)
@@ -54,8 +55,27 @@ class DensityPoint:
         )
 
 
+def _run_sweep_point(config: ScenarioConfig) -> DensityPoint:
+    """Build + run + reduce one sweep sample (module-level so the
+    parallel runner can ship it to ``multiprocessing`` workers; each
+    point is a pure function of its config, so scheduling cannot change
+    results)."""
+    study = GainesvilleStudy(config)
+    result = study.run()
+    return DensityPoint.from_study(config, result, medium=study.medium)
+
+
 class DensitySweep:
-    """Run the deployment at several densities, all else equal."""
+    """Run the deployment at several densities, all else equal.
+
+    ``workers > 1`` runs the sweep points in parallel processes.  Every
+    point derives all randomness from its own config seed and every
+    worker provisions from per-user DRBGs, so a parallel sweep reports
+    exactly what the serial sweep would — only sooner.  Pair it with
+    ``provisioning="pooled"`` and a shared ``key_cache_dir`` so the swept
+    populations pay RSA keygen once across the whole sweep (and across
+    repeated sweeps).
+    """
 
     def __init__(
         self,
@@ -63,21 +83,34 @@ class DensitySweep:
         populations: Sequence[int] = (10, 16, 24),
         scale_meetups_with_population: bool = True,
         medium_batched: bool = True,
+        provisioning: Optional[str] = None,
+        key_cache_dir: Optional[str] = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         self.base_config = base_config or ScenarioConfig(duration_days=3, total_posts=110)
         self.populations = tuple(populations)
         self.scale_meetups_with_population = scale_meetups_with_population
         self.medium_batched = medium_batched
+        self.provisioning = provisioning
+        self.key_cache_dir = key_cache_dir
+        self.workers = workers
         self.points: List[DensityPoint] = []
 
     def _config_for(self, num_users: int) -> ScenarioConfig:
         # Crypto mode rides base_config (ScenarioConfig.session_crypto);
-        # medium_batched stays an explicit engine toggle (PR 1 API).
+        # medium_batched stays an explicit engine toggle (PR 1 API), and
+        # provisioning/key_cache_dir override base_config when given.
         config = replace(
             self.base_config,
             num_users=num_users,
             medium_batched=self.medium_batched,
         )
+        if self.provisioning is not None:
+            config = replace(config, provisioning=self.provisioning)
+        if self.key_cache_dir is not None:
+            config = replace(config, key_cache_dir=self.key_cache_dir)
         if self.scale_meetups_with_population:
             # Meetup opportunities scale with people, not with the map.
             factor = num_users / self.base_config.num_users
@@ -85,13 +118,15 @@ class DensitySweep:
         return config
 
     def run(self) -> List[DensityPoint]:
-        self.points = []
-        for num_users in self.populations:
-            config = self._config_for(num_users)
-            study = GainesvilleStudy(config)
-            result = study.run()
-            self.points.append(DensityPoint.from_study(config, result, medium=study.medium))
+        configs = [self._config_for(num_users) for num_users in self.populations]
+        self.points = self._run_all(configs)
         return self.points
+
+    def _run_all(self, configs: List[ScenarioConfig]) -> List[DensityPoint]:
+        # parallel_map preserves population order, whatever finishes
+        # first, and falls back to a serial run where forking is not
+        # possible (each point is a pure function of its config).
+        return parallel_map(_run_sweep_point, configs, self.workers)
 
     def report(self) -> str:
         rows: List[Tuple] = []

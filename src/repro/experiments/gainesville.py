@@ -14,9 +14,10 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.alleyoop import AlleyOopApp, CloudService, sign_up
+from repro.alleyoop import AlleyOopApp, CloudService
 from repro.core.config import SosConfig
 from repro.crypto.drbg import HmacDrbg
+from repro.pki.provisioning import KeypairPool, default_cache_dir, provision_user
 from repro.experiments.scenario import ScenarioConfig
 from repro.geo.region import Region
 from repro.metrics.collector import TraceCollector
@@ -127,6 +128,7 @@ class GainesvilleStudy:
         self.devices: Dict[int, Device] = {}
         self.user_ids: Dict[int, str] = {}
         self.social_graph: Optional[SocialDigraph] = None
+        self.keypair_pool = None  # set by build() for pooled/lazy modes
         self._overlay: Optional[MapOverlay] = None
         self._built = False
 
@@ -156,14 +158,32 @@ class GainesvilleStudy:
         self.social_graph = self._make_social_graph()
 
         nodes = sorted(self.social_graph.nodes)
+        # Identity provisioning: the pool (shared by pooled *and* lazy
+        # materialisation) lives on the study so benches can read its
+        # stats; pooled mode prefetches every user's key pair up front —
+        # in parallel when the scenario asks for workers.
+        if cfg.provisioning in ("pooled", "lazy"):
+            self.keypair_pool = KeypairPool(cfg.key_cache_dir or default_cache_dir())
+        else:
+            self.keypair_pool = None
+        if cfg.provisioning == "pooled":
+            self.keypair_pool.prefetch(
+                cfg.key_bits,
+                cfg.seed,
+                range(len(nodes)),
+                workers=cfg.provisioning_workers,
+            )
         for index, node in enumerate(nodes):
             username = f"user-{node:02d}" if isinstance(node, int) else str(node)
-            signup = sign_up(
+            signup = provision_user(
                 self.cloud,
                 username,
-                rng=HmacDrbg.from_int(cfg.seed * 104729 + index),
+                seed=cfg.seed,
+                index=index,
                 now=0.0,
                 key_bits=cfg.key_bits,
+                mode=cfg.provisioning,
+                pool=self.keypair_pool,
             )
             self.user_ids[node] = signup.user_id
             venue_rng = self.sim.streams.get(f"venues:{node}")
@@ -187,6 +207,7 @@ class GainesvilleStudy:
                 routing_protocol=cfg.routing_protocol,
                 require_encryption=cfg.require_encryption,
                 session_crypto=cfg.session_crypto,
+                provisioning=cfg.provisioning,
                 relay_request_grace=cfg.relay_request_grace,
             )
             self.apps[node] = AlleyOopApp(
@@ -436,6 +457,11 @@ class GainesvilleStudy:
         for app in self.apps.values():
             for key, value in app.sos.security_stats.items():
                 security[key] = security.get(key, 0) + value
+        # How many devices ever paid for their key material (== num_users
+        # except under lazy provisioning, where idle devices never do).
+        security["keystores_materialized"] = sum(
+            1 for app in self.apps.values() if app.sos.adhoc.keystore.materialized
+        )
         return StudyResult(
             config=self.config,
             collector=collector,

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.pki.provisioning import PROVISIONING_MODES
+
 #: Paper §VI: "~11km x 8km area".
 STUDY_WIDTH_M = 11_000.0
 STUDY_HEIGHT_M = 8_000.0
@@ -110,6 +112,20 @@ class ScenarioConfig:
     # -- security ----------------------------------------------------------------------
     key_bits: int = 1024
     require_encryption: bool = True
+    #: Identity provisioning strategy: ``"eager"`` (on-device keygen at
+    #: sign-up — the paper's flow and the reference oracle), ``"pooled"``
+    #: (key pairs from a deterministic ``repro.pki.provisioning.KeypairPool``,
+    #: optionally cached on disk under ``key_cache_dir``) or ``"lazy"``
+    #: (placeholder sign-up; keygen deferred to first secured use).  All
+    #: three yield byte-identical traces for a fixed seed; pooled/lazy
+    #: exist to make large-N secured world builds tractable.
+    provisioning: str = "eager"
+    #: On-disk keypair-pool directory for ``provisioning="pooled"``/"lazy";
+    #: ``None`` falls back to ``$REPRO_KEY_CACHE`` (memory-only if unset).
+    key_cache_dir: Optional[str] = None
+    #: Worker processes for the pooled-mode keypair prefetch (1 = serial;
+    #: results are identical at any worker count).
+    provisioning_workers: int = 1
     #: Packet protection engine: the per-link secure-session layer
     #: (default) or the legacy per-packet hybrid-RSA pipeline.  Both
     #: produce byte-identical delivery/delay traces for a fixed seed; the
@@ -131,6 +147,13 @@ class ScenarioConfig:
         lo, hi = self.posting_hours
         if not 0 <= lo < hi <= 24:
             raise ValueError(f"invalid posting hours {self.posting_hours!r}")
+        if self.provisioning not in PROVISIONING_MODES:
+            raise ValueError(
+                f"provisioning must be one of {PROVISIONING_MODES}, "
+                f"got {self.provisioning!r}"
+            )
+        if self.provisioning_workers < 1:
+            raise ValueError("provisioning_workers must be at least 1")
 
     @property
     def duration_seconds(self) -> float:

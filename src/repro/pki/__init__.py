@@ -20,8 +20,18 @@ from repro.pki.ca import CertificateAuthority
 from repro.pki.validation import CertificateValidator, ValidationResult
 from repro.pki.revocation import RevocationList
 from repro.pki.keystore import KeyStore
+from repro.pki.provisioning import (
+    PROVISIONING_MODES,
+    KeypairPool,
+    provision_user,
+    signup_drbg_seed,
+)
 
 __all__ = [
+    "PROVISIONING_MODES",
+    "KeypairPool",
+    "provision_user",
+    "signup_drbg_seed",
     "Certificate",
     "CertificateError",
     "DistinguishedName",

@@ -37,6 +37,7 @@ class CertificateAuthority:
         self._rng = rng or SystemRandomSource()
         self._keypair = keypair or generate_keypair(key_bits, rng=self._rng)
         self._serial = 1
+        self._reserved: set = set()
         self.validity = float(validity)
         self.revocations = RevocationList()
         self._issued: Dict[int, Certificate] = {}
@@ -57,18 +58,35 @@ class CertificateAuthority:
     def issued_count(self) -> int:
         return len(self._issued)
 
+    def reserve_serial(self) -> int:
+        """Reserve the next serial number for a certificate issued later.
+
+        Lazy provisioning (:mod:`repro.pki.provisioning`) reserves each
+        user's serial at sign-up time and materialises the certificate on
+        first use; reserving up front keeps the serial stream — and
+        therefore the certificate bytes — identical to an eager run that
+        issues in sign-up order.
+        """
+        serial = self._serial
+        self._serial += 1
+        self._reserved.add(serial)
+        return serial
+
     def issue(
         self,
         csr: CertificateSigningRequest,
         now: float,
         expected_user_id: Optional[str] = None,
         validity: Optional[float] = None,
+        serial: Optional[int] = None,
     ) -> Certificate:
         """Issue a certificate for a verified CSR.
 
         ``expected_user_id`` is the identifier the cloud has on file for
         the logged-in account; a mismatch with the CSR's claim is rejected
         (paper §IV's defence against credential substitution).
+        ``serial`` fulfils a prior :meth:`reserve_serial` reservation;
+        by default the next free serial is assigned here.
         """
         if not csr.verify():
             raise CertificateError("CSR self-signature invalid (no proof of key possession)")
@@ -79,19 +97,25 @@ class CertificateAuthority:
             )
         if not csr.user_id:
             raise CertificateError("CSR carries an empty user-identifier")
+        if serial is None:
+            serial = self._serial
+            self._serial += 1
+        elif serial in self._reserved:
+            self._reserved.discard(serial)
+        else:
+            raise CertificateError(f"serial {serial} was never reserved (or already used)")
         cert = Certificate(
             subject=csr.subject,
             issuer=self._dn,
             public_key=csr.public_key,
-            serial=self._serial,
+            serial=serial,
             not_before=now,
             not_after=now + (validity if validity is not None else self.validity),
             user_id=csr.user_id,
             is_ca=False,
         )
         signed = cert.with_signature(self._keypair.private.sign(cert.tbs_bytes()))
-        self._issued[self._serial] = signed
-        self._serial += 1
+        self._issued[serial] = signed
         return signed
 
     def revoke(self, serial: int, now: float, reason: str = "unspecified") -> None:

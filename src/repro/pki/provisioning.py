@@ -1,0 +1,313 @@
+"""Identity provisioning: keypair pool, lazy sign-up, parallel prefetch.
+
+Every AlleyOop Social user holds an RSA key pair minted at sign-up (paper
+Fig. 2a).  In the reproduction that keygen is pure build-time cost —
+~0.2 s per user at the 1024-bit simulation key size — and after the
+batched medium (PR 1) and the session-crypto layer (PR 2) it is what
+makes large-N secured sweeps intractable.  This module removes keygen
+from the world-construction hot path three ways, selected by the
+``provisioning`` knob (:class:`repro.core.config.SosConfig` /
+:class:`repro.experiments.scenario.ScenarioConfig`):
+
+``eager``
+    The reference flow: generate on-device during sign-up, exactly as the
+    paper describes and exactly as the seed code behaved.  The oracle the
+    other two modes are verified against.
+``pooled``
+    Key pairs come from a :class:`KeypairPool` — a deterministic cache
+    keyed by ``(bits, seed, index)`` with an optional on-disk store, so
+    repeated sweeps pay keygen once, and :meth:`KeypairPool.prefetch` can
+    spread the initial generation over ``multiprocessing`` workers.
+``lazy``
+    Sign-up installs a *placeholder*: account + reserved certificate
+    serial + CA root now, key pair and certificate only on first secured
+    send/receive (first :attr:`~repro.pki.keystore.KeyStore.private_key`
+    access).  A device that never secures a link never pays keygen.
+
+All three modes produce **byte-identical** key pairs and certificates for
+a fixed scenario seed: the per-user DRBG seed is the pure function
+:func:`signup_drbg_seed` of ``(scenario seed, user index)`` regardless of
+who generates when, and lazy issuance reuses the serial reserved at
+sign-up time — so delivery/delay traces are identical across modes
+(asserted end to end by ``benchmarks/test_bench_provisioning.py``).
+
+Deterministic pooling example (512-bit keys for speed)::
+
+    >>> pool = KeypairPool()
+    >>> a = pool.get(512, seed=2017, index=0)
+    >>> b = pool.get(512, seed=2017, index=0)   # memory hit, same object
+    >>> a is b
+    True
+    >>> from repro.crypto.drbg import HmacDrbg
+    >>> from repro.crypto.rsa import generate_keypair
+    >>> direct = generate_keypair(512, rng=HmacDrbg.from_int(signup_drbg_seed(2017, 0)))
+    >>> a.public == direct.public               # == the eager flow's key
+    True
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import RsaKeyPair, RsaPrivateKey, generate_keypair
+from repro.pki.certificate import DistinguishedName
+from repro.pki.csr import CertificateSigningRequest
+from repro.pki.keystore import KeyStore
+from repro.sim.parallel import parallel_map
+
+#: The three provisioning strategies, in reference-first order.
+PROVISIONING_MODES = ("eager", "pooled", "lazy")
+
+#: Environment variable naming a default on-disk key cache directory.
+KEY_CACHE_ENV = "REPRO_KEY_CACHE"
+
+#: On-disk key file magic/version line.
+_KEY_MAGIC = "SOSKEY1"
+
+
+def signup_drbg_seed(scenario_seed: int, index: int) -> int:
+    """The per-user key-generation DRBG seed.
+
+    A pure function of the scenario seed and the user's sign-up index —
+    the single source of truth that makes eager, pooled and lazy
+    provisioning (and any mix of processes computing them) produce
+    byte-identical key pairs.  The constant matches the seed derivation
+    the original eager study build used, so default traces are unchanged.
+    """
+    return scenario_seed * 104729 + index
+
+
+def default_cache_dir() -> Optional[str]:
+    """The ``$REPRO_KEY_CACHE`` directory, or ``None`` for memory-only."""
+    return os.environ.get(KEY_CACHE_ENV) or None
+
+
+def _generate_pool_entry(task: Tuple[int, int, int]) -> Tuple[int, RsaKeyPair]:
+    """Worker body for parallel prefetch: one fully deterministic entry.
+
+    Each worker seeds its own DRBG from the entry's ``(bits, seed,
+    index)`` spec, so results are independent of worker count, scheduling
+    and chunking — a parallel prefetch is bit-for-bit the serial one.
+    """
+    bits, seed, index = task
+    rng = HmacDrbg.from_int(signup_drbg_seed(seed, index))
+    return index, generate_keypair(bits, rng=rng)
+
+
+class KeypairPool:
+    """A deterministic RSA keypair cache keyed by ``(bits, seed, index)``.
+
+    Entries are generated on demand from the keyed DRBG (so a pool is
+    *transparent*: pooled runs equal eager runs byte for byte), held in
+    memory, and — when ``cache_dir`` is set — persisted to one small file
+    per key so later processes and repeated sweeps skip keygen entirely.
+
+    Disk writes are atomic (write-temp + ``os.replace``), which makes a
+    cache directory safe to share between concurrent sweep workers: both
+    would write identical bytes anyway.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None) -> None:
+        self.cache_dir: Optional[Path] = Path(cache_dir) if cache_dir else None
+        self._memory: Dict[Tuple[int, int, int], RsaKeyPair] = {}
+        self.stats = {"memory_hits": 0, "disk_hits": 0, "generated": 0}
+
+    # -- key derivation -------------------------------------------------------
+    def _path_for(self, bits: int, seed: int, index: int) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"rsa-{bits}b-s{seed}-i{index}.key"
+
+    def get(self, bits: int, seed: int, index: int) -> RsaKeyPair:
+        """The key pair for ``(bits, seed, index)`` — memory, then disk,
+        then deterministic generation (cached both ways)."""
+        key = (bits, seed, index)
+        cached = self._memory.get(key)
+        if cached is not None:
+            self.stats["memory_hits"] += 1
+            return cached
+        loaded = self._load(bits, seed, index)
+        if loaded is not None:
+            self.stats["disk_hits"] += 1
+            self._memory[key] = loaded
+            return loaded
+        _, keypair = _generate_pool_entry((bits, seed, index))
+        self.stats["generated"] += 1
+        self._memory[key] = keypair
+        self._store(bits, seed, index, keypair)
+        return keypair
+
+    def prefetch(
+        self,
+        bits: int,
+        seed: int,
+        indices: Iterable[int],
+        workers: int = 1,
+    ) -> int:
+        """Ensure every ``(bits, seed, index)`` entry exists; returns how
+        many had to be generated.
+
+        With ``workers > 1`` the missing entries are generated by a
+        ``multiprocessing`` pool; each task carries its own DRBG spec
+        (see :func:`_generate_pool_entry`), so assignment to workers is
+        irrelevant to the result and the prefetch stays deterministic.
+        Falls back to in-process generation where ``fork`` is unavailable.
+        """
+        wanted = [
+            (bits, seed, index)
+            for index in indices
+            if (bits, seed, index) not in self._memory
+        ]
+        missing: List[Tuple[int, int, int]] = []
+        for task in wanted:
+            loaded = self._load(*task)
+            if loaded is not None:
+                self.stats["disk_hits"] += 1
+                self._memory[task] = loaded
+            else:
+                missing.append(task)
+        if not missing:
+            return 0
+        # parallel_map preserves task order, so results line up with
+        # ``missing`` regardless of which worker ran what.
+        results = parallel_map(_generate_pool_entry, missing, workers)
+        for task, (_, keypair) in zip(missing, results):
+            self.stats["generated"] += 1
+            self._memory[task] = keypair
+            self._store(*task, keypair)
+        return len(missing)
+
+    # -- disk layer -----------------------------------------------------------
+    def _load(self, bits: int, seed: int, index: int) -> Optional[RsaKeyPair]:
+        path = self._path_for(bits, seed, index)
+        if path is None or not path.is_file():
+            return None
+        try:
+            lines = path.read_text().split()
+            if lines[0] != _KEY_MAGIC or len(lines) != 6:
+                return None
+            n, e, d, p, q = (int(value) for value in lines[1:])
+        except (OSError, ValueError, IndexError):
+            return None  # unreadable/corrupt: regenerate and overwrite
+        if p * q != n or n.bit_length() != bits:
+            return None
+        return RsaKeyPair(private=RsaPrivateKey(n=n, e=e, d=d, p=p, q=q))
+
+    def _store(self, bits: int, seed: int, index: int, keypair: RsaKeyPair) -> None:
+        path = self._path_for(bits, seed, index)
+        if path is None:
+            return
+        private = keypair.private
+        body = "\n".join(
+            (_KEY_MAGIC, str(private.n), str(private.e), str(private.d),
+             str(private.p), str(private.q))
+        )
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                prefix=path.name + ".", suffix=".tmp", dir=str(path.parent)
+            )
+            with os.fdopen(fd, "w") as handle:
+                handle.write(body + "\n")
+            os.replace(tmp_name, path)
+        except OSError:
+            pass  # cache is best-effort; generation already succeeded
+
+    @property
+    def size(self) -> int:
+        """Entries currently held in memory."""
+        return len(self._memory)
+
+
+def provision_user(
+    cloud,
+    username: str,
+    *,
+    seed: int,
+    index: int,
+    now: float,
+    key_bits: int = 1024,
+    mode: str = "eager",
+    pool: Optional[KeypairPool] = None,
+):
+    """Sign ``username`` up under the selected provisioning strategy.
+
+    The one entry point world builders call per user
+    (:class:`repro.experiments.gainesville.GainesvilleStudy` threads its
+    scenario's ``provisioning`` knob straight here).  All modes return a
+    :class:`~repro.alleyoop.signup.SignupResult`; under ``lazy`` its
+    ``certificate`` is ``None`` until the keystore materialises.
+
+    Args:
+        cloud: The :class:`~repro.alleyoop.cloud.CloudService` to sign up
+            against (must be online — the one-time requirement).
+        username: Account name to register.
+        seed: Scenario master seed (key DRBGs derive from it).
+        index: This user's sign-up index (0-based, in sign-up order).
+        now: Simulation time of the sign-up.
+        key_bits: RSA modulus size.
+        mode: One of :data:`PROVISIONING_MODES`.
+        pool: Keypair source for ``pooled`` (created ad hoc when omitted)
+            and, optionally, for ``lazy`` materialisation.
+
+    Returns:
+        The sign-up result; its ``keystore`` is ready for middleware use.
+    """
+    # Imported here: pki is a lower layer than alleyoop, and this helper
+    # is the one place the provisioning subsystem drives the cloud flow.
+    from repro.alleyoop.signup import SignupResult, sign_up
+
+    if mode not in PROVISIONING_MODES:
+        raise ValueError(
+            f"unknown provisioning mode {mode!r}; expected one of {PROVISIONING_MODES}"
+        )
+    drbg_seed = signup_drbg_seed(seed, index)
+    if mode == "eager":
+        return sign_up(
+            cloud, username, rng=HmacDrbg.from_int(drbg_seed), now=now, key_bits=key_bits
+        )
+    if mode == "pooled":
+        pool = pool if pool is not None else KeypairPool(default_cache_dir())
+        keypair = pool.get(key_bits, seed, index)
+        return sign_up(
+            cloud,
+            username,
+            rng=HmacDrbg.from_int(drbg_seed),
+            now=now,
+            key_bits=key_bits,
+            keypair=keypair,
+        )
+
+    # -- lazy: account + serial reservation now, crypto on first use ---------
+    account = cloud.create_account(username, now=now)
+    serial = cloud.ca.reserve_serial()
+    root = cloud.root_certificate
+
+    def materialize():
+        if pool is not None:
+            keypair = pool.get(key_bits, seed, index)
+        else:
+            keypair = generate_keypair(key_bits, rng=HmacDrbg.from_int(drbg_seed))
+        csr = CertificateSigningRequest.create(
+            subject=DistinguishedName(common_name=username),
+            private_key=keypair.private,
+            user_id=account.user_id,
+        )
+        certificate = cloud.fulfil_deferred_certificate(
+            username, csr, serial=serial, signup_time=now
+        )
+        return keypair.private, certificate
+
+    keystore = KeyStore()
+    keystore.provision_deferred(materialize, root=root)
+    keystore.sync_revocations(cloud.ca.revocations)
+    return SignupResult(
+        username=username,
+        user_id=account.user_id,
+        keystore=keystore,
+        certificate=None,
+    )

@@ -1,0 +1,49 @@
+"""Deterministic multi-process fan-out for pure per-item work.
+
+One helper, shared by every parallel path in the harness (keypair-pool
+prefetch, density-sweep point runner): fork a worker pool, map a pure
+function over the items, and fall back to in-process execution whenever
+forking is impossible — no ``fork`` start method on the platform, a
+sandbox that forbids subprocesses, or running *inside* a pool worker
+(daemonic processes cannot have children).
+
+The contract callers must honour is that ``fn`` is a pure function of
+its item — every item carries its own seed material and no result
+depends on scheduling.  Under that contract the parallel run is
+bit-for-bit the serial run, so the fallback is always safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, TypeVar
+
+Item = TypeVar("Item")
+Result = TypeVar("Result")
+
+
+def parallel_map(
+    fn: Callable[[Item], Result], items: Sequence[Item], workers: int
+) -> List[Result]:
+    """``[fn(item) for item in items]``, across ``workers`` processes.
+
+    Args:
+        fn: A picklable module-level pure function.
+        items: The work list; results come back in the same order.
+        workers: Process budget; ``<= 1`` (or a single item) runs
+            in-process without touching ``multiprocessing``.
+
+    Returns:
+        The mapped results, in item order.
+    """
+    if workers > 1 and len(items) > 1:
+        try:
+            import multiprocessing
+
+            if multiprocessing.current_process().daemon:
+                raise OSError("nested pool")  # workers cannot fork children
+            ctx = multiprocessing.get_context("fork")
+            with ctx.Pool(min(workers, len(items))) as pool:
+                return pool.map(fn, items)
+        except (ImportError, ValueError, OSError, AssertionError):
+            pass  # no usable fork here: fall through to in-process
+    return [fn(item) for item in items]

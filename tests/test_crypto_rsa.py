@@ -3,9 +3,10 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.crypto.drbg import HmacDrbg
-from repro.crypto.numbers import is_probable_prime
+from repro.crypto.drbg import HmacDrbg, RandomSource
+from repro.crypto.numbers import generate_prime, int_to_bytes, is_probable_prime
 from repro.crypto.rsa import (
+    KeyGenerationError,
     RsaPublicKey,
     generate_keypair,
     hybrid_decrypt,
@@ -51,6 +52,79 @@ class TestKeyGeneration:
     def test_tiny_modulus_rejected(self):
         with pytest.raises(ValueError):
             generate_keypair(256)
+
+
+class _StuckSource(RandomSource):
+    """A degenerate source that replays the same bytes forever — the
+    pathology the keygen attempt bound exists to catch."""
+
+    def __init__(self, pattern: bytes) -> None:
+        self._pattern = pattern
+
+    def read(self, n: int) -> bytes:
+        reps = -(-n // len(self._pattern))
+        return (self._pattern * reps)[:n]
+
+
+class TestKeyGenRetryBound:
+    """Regression tests for the generate_keypair retry loop: a stuck
+    random source used to make p == q on every draw and spin forever."""
+
+    @staticmethod
+    def _stuck_pattern() -> bytes:
+        # A pattern X (well below 2^250) whose 256-bit prime candidate
+        # (top bit forced, made odd) is prime: generate_prime returns it
+        # instantly, so every attempt yields p == q — while Miller-Rabin's
+        # witness draws (X itself, far below the prime) still terminate.
+        check_rng = HmacDrbg.from_int(123)
+        x = 0xABCDEF01
+        while not is_probable_prime((1 << 255) | x | 1, rng=check_rng):
+            x += 2
+        return int_to_bytes(x | 1, 32)
+
+    @pytest.fixture(scope="class")
+    def stuck_prime_source(self):
+        return _StuckSource(self._stuck_pattern())
+
+    def test_p_equals_q_forever_raises(self, stuck_prime_source):
+        with pytest.raises(KeyGenerationError, match="degenerate"):
+            generate_keypair(512, rng=stuck_prime_source, max_attempts=5)
+
+    def test_attempt_budget_in_message(self, stuck_prime_source):
+        with pytest.raises(KeyGenerationError, match="after 3 attempts"):
+            generate_keypair(512, rng=stuck_prime_source, max_attempts=3)
+
+    def test_failure_is_deterministic(self):
+        """Same stuck stream, same outcome — no wall-clock or retry-count
+        nondeterminism leaks into the failure path."""
+        pattern = self._stuck_pattern()
+        for _ in range(2):
+            with pytest.raises(KeyGenerationError):
+                generate_keypair(512, rng=_StuckSource(pattern), max_attempts=4)
+
+    def test_error_is_a_value_error(self, stuck_prime_source):
+        with pytest.raises(ValueError):
+            generate_keypair(512, rng=stuck_prime_source, max_attempts=2)
+
+    def test_zero_attempt_budget_rejected(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            generate_keypair(512, rng=HmacDrbg.from_int(1), max_attempts=0)
+
+    def test_healthy_source_succeeds_first_attempt(self):
+        """A known-good seed needs exactly one attempt — the bound
+        changes nothing for healthy sources."""
+        pair = generate_keypair(512, rng=HmacDrbg.from_int(2), max_attempts=1)
+        assert pair.public == generate_keypair(512, rng=HmacDrbg.from_int(2)).public
+
+    def test_natural_retry_is_deterministic(self):
+        """Seed 5's first 512-bit prime pair is rejected, so this walks
+        the genuine retry path: it respects the attempt budget and both
+        retried runs land on the same key."""
+        with pytest.raises(KeyGenerationError):
+            generate_keypair(512, rng=HmacDrbg.from_int(5), max_attempts=1)
+        first = generate_keypair(512, rng=HmacDrbg.from_int(5))
+        again = generate_keypair(512, rng=HmacDrbg.from_int(5))
+        assert first.public == again.public
 
 
 class TestSignatures:

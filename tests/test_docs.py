@@ -1,0 +1,25 @@
+"""Tier-1 guard for the CI docs lane: the doc checker must pass locally
+too, so a broken doctest or dead link fails fast instead of at CI."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_doc_checks_pass():
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, str(ROOT / "scripts" / "check_docs.py")],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=str(ROOT),
+    )
+    assert proc.returncode == 0, f"doc checks failed:\n{proc.stdout}\n{proc.stderr}"

@@ -1,0 +1,254 @@
+"""Tests for the identity-provisioning subsystem (keypair pool, lazy
+sign-up, parallel prefetch, and the knobs that thread them through the
+experiment harness)."""
+
+import pytest
+
+from repro.alleyoop.cloud import CloudService
+from repro.core.config import SosConfig
+from repro.crypto.drbg import HmacDrbg
+from repro.crypto.rsa import generate_keypair
+from repro.experiments import DensitySweep, GainesvilleStudy, ScenarioConfig
+from repro.experiments.density_sweep import _run_sweep_point
+from repro.pki.provisioning import (
+    PROVISIONING_MODES,
+    KeypairPool,
+    provision_user,
+    signup_drbg_seed,
+)
+
+BITS = 512  # fast keygen; fine for pool tests (no OAEP involved)
+
+
+def _trace_lines(sim):
+    return [
+        f"{event.time!r}|{event.category}|{event.kind}|{sorted(event.data.items())!r}"
+        for event in sim.trace
+    ]
+
+
+class TestKeypairPool:
+    def test_matches_eager_generation(self):
+        """The pool's whole point: its keys equal the eager flow's keys."""
+        pool = KeypairPool()
+        pooled = pool.get(BITS, seed=2017, index=3)
+        direct = generate_keypair(BITS, rng=HmacDrbg.from_int(signup_drbg_seed(2017, 3)))
+        assert pooled.public == direct.public
+        assert pooled.private == direct.private
+
+    def test_memory_hit_returns_same_object(self):
+        pool = KeypairPool()
+        first = pool.get(BITS, seed=1, index=0)
+        second = pool.get(BITS, seed=1, index=0)
+        assert first is second
+        assert pool.stats == {"memory_hits": 1, "disk_hits": 0, "generated": 1}
+
+    def test_distinct_indices_distinct_keys(self):
+        pool = KeypairPool()
+        assert pool.get(BITS, seed=1, index=0).public != pool.get(BITS, seed=1, index=1).public
+
+    def test_disk_round_trip(self, tmp_path):
+        warm = KeypairPool(str(tmp_path))
+        original = warm.get(BITS, seed=9, index=4)
+        cold = KeypairPool(str(tmp_path))  # fresh process, warm disk
+        loaded = cold.get(BITS, seed=9, index=4)
+        assert cold.stats["disk_hits"] == 1
+        assert cold.stats["generated"] == 0
+        assert loaded.private == original.private
+
+    def test_corrupt_cache_file_regenerates(self, tmp_path):
+        warm = KeypairPool(str(tmp_path))
+        original = warm.get(BITS, seed=9, index=0)
+        (files,) = list(tmp_path.iterdir())
+        files.write_text("garbage\nnot a key\n")
+        cold = KeypairPool(str(tmp_path))
+        regenerated = cold.get(BITS, seed=9, index=0)
+        assert cold.stats["generated"] == 1
+        assert regenerated.private == original.private  # deterministic redo
+
+    def test_prefetch_counts_and_idempotence(self, tmp_path):
+        pool = KeypairPool(str(tmp_path))
+        assert pool.prefetch(BITS, seed=5, indices=range(3)) == 3
+        assert pool.prefetch(BITS, seed=5, indices=range(3)) == 0
+        later = KeypairPool(str(tmp_path))
+        assert later.prefetch(BITS, seed=5, indices=range(3)) == 0  # disk warm
+        assert later.stats["disk_hits"] == 3
+
+    def test_parallel_prefetch_matches_serial(self):
+        serial = KeypairPool()
+        serial.prefetch(BITS, seed=7, indices=range(4), workers=1)
+        parallel = KeypairPool()
+        parallel.prefetch(BITS, seed=7, indices=range(4), workers=2)
+        for index in range(4):
+            assert (
+                parallel.get(BITS, seed=7, index=index).private
+                == serial.get(BITS, seed=7, index=index).private
+            )
+
+
+class TestProvisionUser:
+    def _cloud(self):
+        return CloudService(rng=HmacDrbg.from_int(11), now=0.0, key_bits=1024)
+
+    def test_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="unknown provisioning mode"):
+            provision_user(self._cloud(), "alice", seed=1, index=0, now=0.0, mode="psychic")
+
+    @pytest.mark.parametrize("mode", PROVISIONING_MODES)
+    def test_all_modes_keystore_provisioned(self, mode):
+        signup = provision_user(
+            self._cloud(), "alice", seed=1, index=0, now=0.0, key_bits=1024, mode=mode
+        )
+        assert signup.keystore.provisioned
+
+    def test_lazy_defers_until_first_use(self):
+        cloud = self._cloud()
+        signup = provision_user(
+            cloud, "alice", seed=1, index=0, now=0.0, key_bits=1024, mode="lazy"
+        )
+        assert signup.certificate is None
+        assert not signup.keystore.materialized
+        assert cloud.stats["certificates_issued"] == 0
+        # First private-key access pays keygen + issuance, exactly once.
+        key = signup.keystore.private_key
+        assert signup.keystore.materialized
+        assert cloud.stats["certificates_issued"] == 1
+        assert signup.keystore.own_certificate.public_key == key.public_key()
+        assert cloud.account_for("alice").certificate_serial == 1
+
+    def test_lazy_materialises_with_cloud_offline(self):
+        """The D2D property: after sign-up the cloud goes dark, and the
+        deferred issuance (a simulator optimisation) must still complete."""
+        cloud = self._cloud()
+        signup = provision_user(
+            cloud, "alice", seed=1, index=0, now=0.0, key_bits=1024, mode="lazy"
+        )
+        cloud.online = False
+        assert signup.keystore.private_key is not None
+        assert signup.keystore.own_certificate.user_id == signup.user_id
+
+    def test_lazy_certificate_byte_identical_to_eager(self):
+        """Reserved serials + recorded sign-up time make the lazily-issued
+        certificate the same bytes the eager flow would have produced."""
+        eager_cloud = CloudService(rng=HmacDrbg.from_int(11), now=0.0, key_bits=1024)
+        lazy_cloud = CloudService(rng=HmacDrbg.from_int(11), now=0.0, key_bits=1024)
+        eager = provision_user(
+            eager_cloud, "alice", seed=4, index=0, now=0.0, key_bits=1024, mode="eager"
+        )
+        lazy = provision_user(
+            lazy_cloud, "alice", seed=4, index=0, now=0.0, key_bits=1024, mode="lazy"
+        )
+        assert lazy.keystore.own_certificate.encode() == eager.certificate.encode()
+
+    def test_failed_materialisation_raises_every_time(self):
+        """Regression: a failing materialiser must raise on *every*
+        access, not fail once and then degrade to None credentials."""
+        from repro.pki.keystore import KeyStore
+
+        cloud = self._cloud()
+        keystore = KeyStore()
+        calls = []
+
+        def explode():
+            calls.append(1)
+            raise RuntimeError("keygen backend down")
+
+        keystore.provision_deferred(explode, root=cloud.root_certificate)
+        for _ in range(2):
+            with pytest.raises(RuntimeError, match="keygen backend down"):
+                keystore.private_key
+        assert len(calls) == 2  # retried, not silently dropped
+        assert not keystore.materialized
+
+    def test_pooled_uses_the_pool(self, tmp_path):
+        pool = KeypairPool(str(tmp_path))
+        signup = provision_user(
+            self._cloud(),
+            "alice",
+            seed=2,
+            index=0,
+            now=0.0,
+            key_bits=1024,
+            mode="pooled",
+            pool=pool,
+        )
+        assert pool.stats["generated"] == 1
+        assert signup.keystore.private_key == pool.get(1024, 2, 0).private
+
+
+class TestConfigValidation:
+    def test_sos_config_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="provisioning"):
+            SosConfig(provisioning="telepathy")
+
+    def test_scenario_config_rejects_bad_mode(self):
+        with pytest.raises(ValueError, match="provisioning"):
+            ScenarioConfig(provisioning="telepathy")
+
+    def test_scenario_config_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="provisioning_workers"):
+            ScenarioConfig(provisioning_workers=0)
+
+    def test_density_sweep_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            DensitySweep(workers=0)
+
+
+class TestStudyIntegration:
+    BASE = dict(num_users=4, duration_days=1, total_posts=12, seed=77)
+
+    def test_three_modes_trace_identical(self, tmp_path):
+        traces = {}
+        materialized = {}
+        for mode in PROVISIONING_MODES:
+            study = GainesvilleStudy(
+                ScenarioConfig(provisioning=mode, key_cache_dir=str(tmp_path), **self.BASE)
+            )
+            result = study.run()
+            traces[mode] = _trace_lines(study.sim)
+            materialized[mode] = result.security_stats["keystores_materialized"]
+        assert traces["eager"] == traces["pooled"] == traces["lazy"]
+        assert any("|message|" in line for line in traces["eager"])
+        assert materialized["eager"] == self.BASE["num_users"]
+        assert materialized["lazy"] <= self.BASE["num_users"]
+
+    def test_pooled_study_reuses_disk_cache(self, tmp_path):
+        config = ScenarioConfig(
+            provisioning="pooled", key_cache_dir=str(tmp_path), **self.BASE
+        )
+        first = GainesvilleStudy(config)
+        first.build()
+        assert first.keypair_pool.stats["generated"] == self.BASE["num_users"]
+        second = GainesvilleStudy(config)
+        second.build()
+        assert second.keypair_pool.stats["generated"] == 0
+        assert second.keypair_pool.stats["disk_hits"] == self.BASE["num_users"]
+
+    def test_parallel_sweep_matches_serial(self, tmp_path):
+        base = ScenarioConfig(
+            num_users=4, duration_days=1, total_posts=10, seed=31,
+            provisioning="pooled", key_cache_dir=str(tmp_path),
+        )
+        serial = DensitySweep(base_config=base, populations=(4, 5), workers=1)
+        parallel = DensitySweep(base_config=base, populations=(4, 5), workers=2)
+        assert serial.run() == parallel.run()
+
+    def test_parallel_sweep_with_pooled_workers(self, tmp_path):
+        """Regression: a pooled build inside a daemonic sweep worker must
+        fall back to in-process prefetch instead of trying to fork
+        grandchildren (the `--workers 2 --provisioning pooled` CLI combo)."""
+        base = ScenarioConfig(
+            num_users=4, duration_days=1, total_posts=8, seed=13,
+            provisioning="pooled", provisioning_workers=2,
+            key_cache_dir=str(tmp_path),
+        )
+        sweep = DensitySweep(base_config=base, populations=(4, 5), workers=2)
+        points = sweep.run()
+        assert [point.num_users for point in points] == [4, 5]
+
+    def test_sweep_point_is_pure(self, tmp_path):
+        config = ScenarioConfig(
+            num_users=4, duration_days=1, total_posts=10, seed=31,
+            provisioning="lazy", key_cache_dir=str(tmp_path),
+        )
+        assert _run_sweep_point(config) == _run_sweep_point(config)
