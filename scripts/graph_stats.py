@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""Follow-graph sanity checks for sweep planning.
+
+Prints node/edge counts, density, reciprocity and a degree histogram of
+exactly the graph a study would build for the given generator, seed and
+population — so an unrealistic edge count is caught *before* paying for
+a large-N run.  Thin wrapper over ``python -m repro graph-stats``; run
+from the repo root::
+
+    python scripts/graph_stats.py --users 2000 --social-graph powerlaw_cluster
+
+(``PYTHONPATH=src`` is optional here: the script bootstraps the path.)
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402  (after the path bootstrap)
+
+if __name__ == "__main__":
+    sys.exit(main(["graph-stats", *sys.argv[1:]]))

@@ -14,11 +14,11 @@ Every user interaction follows §V's two-step rule:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.alleyoop.cloud import CloudError, CloudService
 from repro.alleyoop.feed import Feed, FeedEntry
-from repro.alleyoop.post import Post
+from repro.alleyoop.post import Post, PostFormatError
 from repro.core.config import SosConfig
 from repro.core.delegates import SosDelegate
 from repro.core.middleware import SOSMiddleware
@@ -59,6 +59,13 @@ class AlleyOopApp(SosDelegate):
         #: Subscription knowledge gossiped by other users (author ->
         #: followee set), maintained when gossip_follows is enabled.
         self.social_map: dict = {}
+        #: Latest applied gossip action per (follower, followee), as the
+        #: (created_at, message number) pair of the action message.  A
+        #: user's actions are totally ordered by their message number, so
+        #: gossip arriving out of order (a stale unfollow overtaken by a
+        #: newer follow) is detected and ignored instead of clobbering
+        #: the social map and the routing hints derived from it.
+        self._gossip_applied: Dict[Tuple[str, str], Tuple[float, int]] = {}
         self._notifications: List[str] = []
         self.sos = SOSMiddleware(
             sim=sim,
@@ -108,6 +115,59 @@ class AlleyOopApp(SosDelegate):
         self.sim.trace.emit(self.sim.now, "social", "follow", follower=self.user_id, followee=user_id)
         self._gossip_action("follow", user_id)
         self.try_cloud_sync()
+
+    def follow_many(self, user_ids: Iterable[str]) -> int:
+        """Bulk-subscribe to several users in one round (bootstrap path).
+
+        Semantically equivalent to calling :meth:`follow` once per id —
+        same resulting follow set and interest set, same subscription
+        windows in the analysis — but the aggregate work is O(1) records
+        instead of O(edges): the middleware interest set is updated
+        *once*; the local log gains one compact
+        :attr:`~repro.storage.actionlog.ActionKind.FOLLOW_MANY` action
+        whose payload carries the ordered target tuple (the per-edge
+        path logs one FOLLOW per target — the oracle for what the batch
+        record must expand to); one aggregated ``social``/``follow_many``
+        trace event stands in for the per-edge ``follow`` events (the
+        trace collector expands it to the identical per-pair
+        subscription windows); and the pending suffix is flushed through
+        the cloud's bulk sync endpoint
+        (:meth:`repro.alleyoop.cloud.CloudService.sync_batch`) in a
+        single round instead of one round per edge.
+
+        Subscription gossip is deliberately suppressed: this is the
+        day-0 world-bootstrap semantics (the initial follow graph
+        predates any encounter, so there is no one to gossip to), which
+        matches what the per-edge wiring does in every shipped scenario
+        (``gossip_follows`` is off during world construction).
+
+        Returns the number of *new* follows (already-followed ids and
+        duplicates in the input are skipped, like :meth:`follow`).
+        """
+        new_ids: List[str] = []
+        seen: Set[str] = set()
+        for user_id in user_ids:
+            if user_id == self.user_id:
+                raise ValueError("cannot follow yourself")
+            if user_id in self.follows or user_id in seen:
+                continue
+            seen.add(user_id)
+            new_ids.append(user_id)
+        if not new_ids:
+            return 0
+        self.follows.update(new_ids)
+        self.sos.set_interests(self.follows)
+        now = self.sim.now
+        targets = tuple(new_ids)
+        self.actions.append(
+            ActionKind.FOLLOW_MANY, actor=self.user_id, created_at=now,
+            targets=targets,
+        )
+        self.sim.trace.emit(
+            now, "social", "follow_many", follower=self.user_id, followees=targets
+        )
+        self.try_cloud_sync()
+        return len(new_ids)
 
     def unfollow(self, user_id: str) -> None:
         if user_id not in self.follows:
@@ -171,17 +231,48 @@ class AlleyOopApp(SosDelegate):
 
     def _maybe_apply_subscription_gossip(self, message: StoredMessage) -> bool:
         """Apply a gossiped follow/unfollow action (returns True when the
-        message was subscription gossip, which never enters the feed)."""
+        message was subscription gossip, which never enters the feed).
+
+        DTN delivery reorders freely, so follow/unfollow actions by the
+        same author can arrive in any order.  Actions are applied in
+        *action* order, not arrival order: each (follower, followee) pair
+        remembers the newest applied action's (created_at, number) stamp
+        and older gossip is acknowledged but not applied.
+        """
         try:
             post = Post.from_message(message)
-        except Exception:
+        except PostFormatError as exc:
+            # The message passed originator verification but its body is
+            # not an AlleyOop post at all.  That is evidence of a buggy
+            # or hostile sender — record it instead of silently moving
+            # on (the old bare ``except`` also masked our own bugs).
+            self.sim.trace.emit(
+                self.sim.now,
+                "app",
+                "malformed_payload",
+                owner=self.user_id,
+                author=message.author_id,
+                number=message.number,
+                error=str(exc),
+            )
             return False
         if post.topic != "sys:subscription":
             return False
         action = post.attributes.get("action")
         followee = post.attributes.get("followee")
-        if not followee:
+        # Attribute *values* are sender-controlled too: a non-string
+        # followee must not crash the pair lookup (lists are unhashable)
+        # or pollute the social map with non-user keys.
+        if not isinstance(followee, str) or not followee:
             return True
+        if not isinstance(action, str):
+            return True
+        if action in ("follow", "unfollow"):
+            pair = (message.author_id, followee)
+            stamp = (message.created_at, message.number)
+            if stamp <= self._gossip_applied.get(pair, (float("-inf"), -1)):
+                return True  # stale: a newer action for this pair already applied
+            self._gossip_applied[pair] = stamp
         followers = self.social_map.setdefault(followee, set())
         if action == "follow":
             followers.add(message.author_id)

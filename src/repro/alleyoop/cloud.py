@@ -38,10 +38,19 @@ class CloudAccount:
 class CloudService:
     """Account registry + CA bridge + sync endpoint."""
 
+    #: ``validate_user_id`` fixes identifiers to ``u`` + 9 digits, so the
+    #: service can mint at most one billion distinct accounts.
+    MAX_ACCOUNTS = 10**9
+
     def __init__(self, ca: Optional[CertificateAuthority] = None, **ca_kwargs) -> None:
         self.ca = ca or CertificateAuthority(**ca_kwargs)
         self._accounts: Dict[str, CloudAccount] = {}  # by username
         self._by_user_id: Dict[str, CloudAccount] = {}
+        #: Monotonic id counter.  Deliberately *not* ``len(self._accounts)``:
+        #: if account removal is ever added, a length-derived id would be
+        #: re-minted and collide with the removed user's certificates and
+        #: message history.
+        self._next_account_index = 0
         self.online = True
         self.stats = {"signups": 0, "certificates_issued": 0, "syncs": 0, "actions_accepted": 0}
 
@@ -57,7 +66,13 @@ class CloudService:
             raise CloudError("username must be non-empty")
         if username in self._accounts:
             raise CloudError(f"username {username!r} is taken")
-        user_id = validate_user_id(f"u{len(self._accounts):09d}")
+        if self._next_account_index >= self.MAX_ACCOUNTS:
+            raise CloudError(
+                f"user-id space exhausted ({self.MAX_ACCOUNTS} accounts minted; "
+                "the paper fixes identifiers at 10 bytes, §V-A)"
+            )
+        user_id = validate_user_id(f"u{self._next_account_index:09d}")
+        self._next_account_index += 1
         account = CloudAccount(username=username, user_id=user_id, created_at=now)
         self._accounts[username] = account
         self._by_user_id[user_id] = account
@@ -137,6 +152,36 @@ class CloudService:
         self.ca.revoke(account.certificate_serial, now=now, reason=reason)
 
     # -- action sync -------------------------------------------------------------------
+    def sync_batch(self, user_id: str, batch: List[Action]) -> int:
+        """The bulk sync endpoint: accept a whole action batch in one round.
+
+        Accepts the contiguous prefix of ``batch`` that extends the
+        account's acknowledged log (a sequence gap stops acceptance, the
+        same at-least-once contract the per-action loop honoured) and
+        returns the highest sequence number durably accepted.  One call
+        is one billed "round": the world-bootstrap path flushes a user's
+        entire day-0 follow list (one FOLLOW_MANY record, or the
+        oracle's per-edge FOLLOW suffix) in a single round instead of
+        one round per edge.
+        """
+        self._require_online()
+        account = self._by_user_id.get(user_id)
+        if account is None:
+            raise CloudError(f"unknown user id {user_id!r}")
+        accepted = account.last_synced_seq
+        prefix = 0
+        for action in batch:
+            if action.seq != accepted + prefix + 1:
+                break  # gap: accept the contiguous prefix only
+            prefix += 1
+        if prefix:
+            account.synced_actions.extend(batch[:prefix])
+            accepted += prefix
+            account.last_synced_seq = accepted
+        self.stats["syncs"] += 1
+        self.stats["actions_accepted"] += prefix
+        return accepted
+
     def sync_uplink(self, user_id: str):
         """An uplink callable for :class:`repro.storage.syncqueue.SyncQueue`.
 
@@ -146,20 +191,6 @@ class CloudService:
         """
 
         def _uplink(batch: List[Action]) -> int:
-            self._require_online()
-            account = self._by_user_id.get(user_id)
-            if account is None:
-                raise CloudError(f"unknown user id {user_id!r}")
-            accepted = account.last_synced_seq
-            for action in batch:
-                if action.seq != accepted + 1:
-                    break  # gap: accept the contiguous prefix only
-                account.synced_actions.append(action)
-                accepted = action.seq
-            newly = accepted - account.last_synced_seq
-            account.last_synced_seq = accepted
-            self.stats["syncs"] += 1
-            self.stats["actions_accepted"] += newly
-            return accepted
+            return self.sync_batch(user_id, batch)
 
         return _uplink

@@ -49,10 +49,17 @@ class Post:
             raise PostFormatError(f"undecodable post payload: {exc}") from exc
         if not isinstance(payload, dict) or payload.get("v") != 1 or "text" not in payload:
             raise PostFormatError(f"unrecognised post structure: {payload!r}")
+        attrs = payload.get("attrs", {})
+        topic = payload.get("topic")
+        # Well-formed JSON can still carry the wrong shapes; misshapen
+        # fields must surface as PostFormatError (the decode contract),
+        # not as a raw TypeError/ValueError from the constructor.
+        if not isinstance(attrs, dict) or not (topic is None or isinstance(topic, str)):
+            raise PostFormatError(f"unrecognised post structure: {payload!r}")
         return cls(
             text=str(payload["text"]),
-            topic=payload.get("topic"),
-            attributes=dict(payload.get("attrs", {})),
+            topic=topic,
+            attributes=dict(attrs),
         )
 
     @classmethod

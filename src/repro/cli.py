@@ -7,7 +7,9 @@ writing any code:
   the paper-vs-measured report (plus optional map/CDF detail),
 * ``compare``  — run every routing protocol on the identical deployment,
 * ``density``  — the higher-density sweep the paper calls for,
-* ``protocols`` — list available routing schemes.
+* ``protocols`` — list available routing schemes,
+* ``graph-stats`` — degree statistics of a generated follow graph (sweep
+  sanity checks before paying for a large run).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from repro.experiments import (
     ProtocolComparison,
     ScenarioConfig,
 )
+from repro.social.generators import SOCIAL_GRAPH_KINDS
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -63,6 +66,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="worker processes: parallel keypair prefetch for pooled "
         "provisioning, and parallel sweep points for the density command",
     )
+    parser.add_argument(
+        "--social-graph",
+        choices=SOCIAL_GRAPH_KINDS,
+        default=None,
+        help="follow-graph generator: auto (figure4a at N=10, hub_and_cluster "
+        "otherwise), or a sparse family (degree_bounded, powerlaw_cluster) "
+        "whose per-user degree stays constant as N grows",
+    )
+    parser.add_argument(
+        "--per-edge-bootstrap",
+        action="store_true",
+        help="wire day-0 follows one cloud round per edge (the reference "
+        "oracle) instead of the bulk per-user batch (same traces; for "
+        "benchmarking)",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -83,6 +101,10 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
         kwargs["key_cache_dir"] = args.key_cache
     if args.workers != 1:
         kwargs["provisioning_workers"] = args.workers
+    if args.social_graph is not None:
+        kwargs["social_graph"] = args.social_graph
+    if args.per_edge_bootstrap:
+        kwargs["bulk_bootstrap"] = False
     return ScenarioConfig(**kwargs)
 
 
@@ -136,6 +158,54 @@ def cmd_protocols(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_graph_stats(args: argparse.Namespace) -> int:
+    """Sanity-check a generator before committing to a large sweep:
+    node/edge counts, density, reciprocity and the degree histogram of
+    exactly the graph a study with this seed/population would build."""
+    from repro.metrics.report import format_table
+    from repro.sim.randomness import RandomStreams
+    from repro.social import metrics as social_metrics
+    from repro.social.generators import make_social_graph, resolve_social_graph_kind
+
+    kind = args.social_graph or "auto"
+    resolved = resolve_social_graph_kind(kind, args.users)
+    rng = RandomStreams(args.seed).get("social")
+    graph = make_social_graph(kind, args.users, rng)
+    summary = social_metrics.degree_summary(graph)
+    print(
+        format_table(
+            f"social graph: {resolved} (N={args.users}, seed={args.seed})",
+            ("quantity", "value"),
+            [
+                ("nodes", graph.node_count),
+                ("directed edges", graph.edge_count),
+                ("directed density", f"{social_metrics.density_directed(graph):.4f}"),
+                ("reciprocity", f"{social_metrics.reciprocity(graph):.3f}"),
+                ("weakly connected", graph.is_weakly_connected()),
+                ("out-degree min/mean/max",
+                 f"{summary['out_min']:.0f} / {summary['out_mean']:.1f} / {summary['out_max']:.0f}"),
+                ("in-degree min/mean/max",
+                 f"{summary['in_min']:.0f} / {summary['in_mean']:.1f} / {summary['in_max']:.0f}"),
+            ],
+        )
+    )
+    histogram = social_metrics.degree_histogram(graph, direction=args.direction)
+    max_degree = max(histogram)
+    bucket = max(1, (max_degree + 1) // 16)
+    buckets: dict = {}
+    for degree, count in histogram.items():
+        buckets[degree // bucket] = buckets.get(degree // bucket, 0) + count
+    peak = max(buckets.values())
+    print()
+    print(f"{args.direction}-degree histogram (bucket width {bucket}):")
+    for index in sorted(buckets):
+        lo, hi = index * bucket, index * bucket + bucket - 1
+        label = f"{lo}" if bucket == 1 else f"{lo}-{hi}"
+        bar = "#" * max(1, round(40 * buckets[index] / peak))
+        print(f"  {label:>9}  {buckets[index]:>6}  {bar}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -171,6 +241,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     protocols = sub.add_parser("protocols", help="list available routing schemes")
     protocols.set_defaults(func=cmd_protocols)
+
+    graph_stats = sub.add_parser(
+        "graph-stats",
+        help="node/edge counts and degree histogram of a generated follow "
+        "graph (sweep sanity check; also scripts/graph_stats.py)",
+    )
+    graph_stats.add_argument("--seed", type=int, default=2017, help="master seed")
+    graph_stats.add_argument("--users", type=int, default=10, help="population size")
+    graph_stats.add_argument(
+        "--social-graph",
+        choices=SOCIAL_GRAPH_KINDS,
+        default=None,
+        help="generator family (default: auto)",
+    )
+    graph_stats.add_argument(
+        "--direction",
+        choices=("out", "in", "total"),
+        default="out",
+        help="which degree to histogram (default: out)",
+    )
+    graph_stats.set_defaults(func=cmd_graph_stats)
     return parser
 
 

@@ -83,6 +83,10 @@ class SosConfig:
     #: "performs an action such as follow/unfollow of a user".  Gossiped
     #: subscription knowledge feeds destination-aware protocols
     #: (spray-and-wait, PRoPHET, BubbleRap) via their subscriber_hints.
+    #: DTN delivery reorders freely, so receivers apply gossip in *action*
+    #: order — AlleyOop keeps a per-(follower, followee) stamp of the
+    #: newest applied action and ignores older gossip, so a late-arriving
+    #: stale unfollow cannot clobber a newer follow.
     #: Off by default: the calibrated field-study reproduction measures
     #: post dissemination only.
     gossip_follows: bool = False

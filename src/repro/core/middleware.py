@@ -103,7 +103,13 @@ class SOSMiddleware:
     # -- interests --------------------------------------------------------------------
     def set_interests(self, user_ids: Set[str]) -> None:
         """Set the users whose content this node wants (IB routing's
-        subscription set)."""
+        subscription set).
+
+        The call replaces the whole set, so bulk subscription changes
+        (AlleyOop's ``follow_many`` bootstrap path) cost one call rather
+        than one per edge — at N=2000 the per-edge pattern spends
+        O(sum of squared degrees) copying ever-larger interest sets.
+        """
         self.messages.set_subscriptions(set(user_ids))
 
     @property

@@ -86,6 +86,8 @@ class DensitySweep:
         provisioning: Optional[str] = None,
         key_cache_dir: Optional[str] = None,
         workers: int = 1,
+        social_graph: Optional[str] = None,
+        bulk_bootstrap: Optional[bool] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -96,6 +98,12 @@ class DensitySweep:
         self.provisioning = provisioning
         self.key_cache_dir = key_cache_dir
         self.workers = workers
+        #: Follow-graph generator for the swept populations; the sparse
+        #: families (degree_bounded/powerlaw_cluster) are what make
+        #: N >> 500 points affordable.  None rides base_config.
+        self.social_graph = social_graph
+        #: Day-0 wiring mode override; None rides base_config.
+        self.bulk_bootstrap = bulk_bootstrap
         self.points: List[DensityPoint] = []
 
     def _config_for(self, num_users: int) -> ScenarioConfig:
@@ -111,6 +119,10 @@ class DensitySweep:
             config = replace(config, provisioning=self.provisioning)
         if self.key_cache_dir is not None:
             config = replace(config, key_cache_dir=self.key_cache_dir)
+        if self.social_graph is not None:
+            config = replace(config, social_graph=self.social_graph)
+        if self.bulk_bootstrap is not None:
+            config = replace(config, bulk_bootstrap=self.bulk_bootstrap)
         if self.scale_meetups_with_population:
             # Meetup opportunities scale with people, not with the map.
             factor = num_users / self.base_config.num_users

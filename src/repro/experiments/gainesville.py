@@ -33,7 +33,7 @@ from repro.mpc.framework import MpcFramework
 from repro.sim.engine import Simulator
 from repro.social import figure4a, metrics as social_metrics
 from repro.social.digraph import SocialDigraph
-from repro.social.generators import hub_and_cluster_digraph
+from repro.social.generators import make_social_graph, resolve_social_graph_kind
 
 _DAY = 86_400.0
 _HOUR = 3_600.0
@@ -128,6 +128,8 @@ class GainesvilleStudy:
         self.devices: Dict[int, Device] = {}
         self.user_ids: Dict[int, str] = {}
         self.social_graph: Optional[SocialDigraph] = None
+        #: The concrete generator "auto" resolved to (set by build()).
+        self.social_graph_kind: Optional[str] = None
         self.keypair_pool = None  # set by build() for pooled/lazy modes
         self._overlay: Optional[MapOverlay] = None
         self._built = False
@@ -156,6 +158,11 @@ class GainesvilleStudy:
             campus_radius=cfg.campus_radius_m,
         )
         self.social_graph = self._make_social_graph()
+        if self.social_graph_kind is None:
+            # Subclass overrode _make_social_graph without labelling it.
+            self.social_graph_kind = resolve_social_graph_kind(
+                cfg.social_graph, cfg.num_users
+            )
 
         nodes = sorted(self.social_graph.nodes)
         # Identity provisioning: the pool (shared by pooled *and* lazy
@@ -240,25 +247,43 @@ class GainesvilleStudy:
         self._built = True
 
     def _make_social_graph(self) -> SocialDigraph:
-        if self.config.num_users == 10:
-            return figure4a.figure_4a_graph()
-        return hub_and_cluster_digraph(
-            range(1, self.config.num_users + 1), self.sim.streams.get("social")
+        cfg = self.config
+        self.social_graph_kind = resolve_social_graph_kind(cfg.social_graph, cfg.num_users)
+        return make_social_graph(
+            cfg.social_graph, cfg.num_users, self.sim.streams.get("social")
         )
 
     def _edge_pairs(self, edges) -> List[Tuple[int, int]]:
         return [(a, b) for a, b in edges]
 
+    def _initial_subscriptions(self) -> Tuple[Tuple[int, int], ...]:
+        """The day-0 follow edges, in wiring order.
+
+        The figure4a reconstruction withholds its 12 late follows (they
+        happen during the study); every generated graph is wired whole.
+        Both sources arrive grouped by follower — INITIAL_SUBSCRIPTIONS
+        is sorted, SocialDigraph.edges() yields per-follower runs — which
+        is what lets bulk and per-edge wiring emit identical traces.
+        """
+        if self.social_graph_kind == "figure4a":
+            return figure4a.INITIAL_SUBSCRIPTIONS
+        return tuple(self.social_graph.edges())
+
     def _wire_day0_follows(self) -> None:
-        if self.config.num_users == 10:
-            initial = figure4a.INITIAL_SUBSCRIPTIONS
+        initial = self._initial_subscriptions()
+        if self.config.bulk_bootstrap:
+            by_follower: Dict[int, List[str]] = {}
+            for follower, followee in initial:
+                by_follower.setdefault(follower, []).append(self.user_ids[followee])
+            for follower, followees in by_follower.items():
+                self.apps[follower].follow_many(followees)
         else:
-            initial = tuple(self.social_graph.edges())
-        for follower, followee in initial:
-            self.apps[follower].follow(self.user_ids[followee])
+            # Per-edge reference oracle: one cloud sync round per edge.
+            for follower, followee in initial:
+                self.apps[follower].follow(self.user_ids[followee])
 
     def _schedule_late_follows(self) -> None:
-        if self.config.num_users != 10:
+        if self.social_graph_kind != "figure4a":
             return
         rng = self.sim.streams.get("late-follows")
         horizon_days = max(1, min(5, self.config.duration_days - 1))
@@ -440,7 +465,7 @@ class GainesvilleStudy:
         self.sim.run(until=self.config.duration_seconds)
         self.medium.stop()
         collector = TraceCollector(self.sim.trace)
-        if self.config.num_users == 10:
+        if self.social_graph_kind == "figure4a":
             evaluated = [
                 (self.user_ids[a], self.user_ids[b])
                 for a, b in figure4a.INITIAL_SUBSCRIPTIONS

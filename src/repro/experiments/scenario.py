@@ -13,6 +13,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.pki.provisioning import PROVISIONING_MODES
+from repro.social.generators import resolve_social_graph_kind
 
 #: Paper §VI: "~11km x 8km area".
 STUDY_WIDTH_M = 11_000.0
@@ -44,6 +45,27 @@ class ScenarioConfig:
     medium_batched: bool = True
     campus_radius_m: float = 500.0
     num_social_venues: int = 6
+
+    # -- social graph ------------------------------------------------------------------
+    #: Follow-graph generator family (see repro.social.generators):
+    #: ``"auto"`` keeps the historical dispatch — the exact Fig. 4a
+    #: reconstruction at N=10, ``hub_and_cluster`` otherwise.  The sparse
+    #: families (``degree_bounded``, ``powerlaw_cluster``) keep expected
+    #: per-user degree independent of N, opening large-N sweeps that the
+    #: O(N²)-dense hub_and_cluster generator cannot reach.
+    social_graph: str = "auto"
+    #: Day-0 follow wiring: ``True`` batches each user's initial follow
+    #: list through ``AlleyOopApp.follow_many`` — interest set updated
+    #: once, one compact FOLLOW_MANY log record, one aggregated trace
+    #: event and one bulk cloud sync round per *user*; ``False`` keeps
+    #: the per-edge reference path (one FOLLOW record, trace event and
+    #: cloud round per *edge*).  Both modes produce byte-identical
+    #: delivery/delay traces, identical follow/interest sets and
+    #: identical subscription windows for a fixed seed; only the day-0
+    #: bookkeeping representation is compacted.  The flag exists for
+    #: benchmarking and equivalence checks (see
+    #: benchmarks/test_bench_social_bootstrap.py).
+    bulk_bootstrap: bool = True
     venues_per_user: Tuple[int, int] = (2, 4)
     weekday_attendance: float = 0.5
     weekday_social_prob: float = 0.40
@@ -154,6 +176,9 @@ class ScenarioConfig:
             )
         if self.provisioning_workers < 1:
             raise ValueError("provisioning_workers must be at least 1")
+        # Unknown kinds and the figure4a/num_users constraint are
+        # rejected by the knob's single validation point.
+        resolve_social_graph_kind(self.social_graph, self.num_users)
 
     @property
     def duration_seconds(self) -> float:

@@ -92,18 +92,35 @@ class TraceCollector:
                     )
                 )
             elif event.category == "social" and event.kind == "follow":
-                key = (event.data["follower"], event.data["followee"])
-                if key not in open_windows:
-                    window = SubscriptionWindow(
-                        follower=key[0], followee=key[1], start=event.time
-                    )
-                    open_windows[key] = window
-                    self.subscription_windows.append(window)
+                self._open_window(
+                    open_windows, event.data["follower"], event.data["followee"],
+                    event.time,
+                )
+            elif event.category == "social" and event.kind == "follow_many":
+                # One aggregated bulk-bootstrap event stands in for a run
+                # of per-edge follows; expand it to the identical
+                # per-pair subscription windows, in the same order.
+                follower = event.data["follower"]
+                for followee in event.data["followees"]:
+                    self._open_window(open_windows, follower, followee, event.time)
             elif event.category == "social" and event.kind == "unfollow":
                 key = (event.data["follower"], event.data["followee"])
                 window = open_windows.pop(key, None)
                 if window is not None:
                     window.end = event.time
+
+    def _open_window(
+        self,
+        open_windows: Dict[Tuple[str, str], SubscriptionWindow],
+        follower: str,
+        followee: str,
+        time: float,
+    ) -> None:
+        key = (follower, followee)
+        if key not in open_windows:
+            window = SubscriptionWindow(follower=follower, followee=followee, start=time)
+            open_windows[key] = window
+            self.subscription_windows.append(window)
 
     # -- derived views -------------------------------------------------------------
     @property

@@ -20,7 +20,15 @@ from repro.social.metrics import (
     reciprocity,
     transitivity_undirected,
 )
-from repro.social.generators import hub_and_cluster_digraph, random_digraph
+from repro.social.generators import (
+    SOCIAL_GRAPH_KINDS,
+    degree_bounded_digraph,
+    hub_and_cluster_digraph,
+    make_social_graph,
+    powerlaw_cluster_digraph,
+    random_digraph,
+    resolve_social_graph_kind,
+)
 from repro.social.figure4a import (
     FIGURE_4A_EDGES,
     INITIAL_SUBSCRIPTIONS,
@@ -39,8 +47,13 @@ __all__ = [
     "radius",
     "reciprocity",
     "transitivity_undirected",
+    "SOCIAL_GRAPH_KINDS",
+    "degree_bounded_digraph",
     "hub_and_cluster_digraph",
+    "make_social_graph",
+    "powerlaw_cluster_digraph",
     "random_digraph",
+    "resolve_social_graph_kind",
     "FIGURE_4A_EDGES",
     "INITIAL_SUBSCRIPTIONS",
     "LATE_FOLLOWS",

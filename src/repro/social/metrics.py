@@ -129,6 +129,27 @@ def reciprocity(graph: SocialDigraph) -> float:
     return mutual / m
 
 
+def degree_histogram(graph: SocialDigraph, direction: str = "out") -> Dict[int, int]:
+    """Map degree -> node count, for sweep sanity checks.
+
+    ``direction`` is ``"out"`` (follows made), ``"in"`` (followers) or
+    ``"total"`` (undirected-projection degree).
+    """
+    if direction == "out":
+        degrees = (graph.out_degree(n) for n in graph.nodes)
+    elif direction == "in":
+        degrees = (graph.in_degree(n) for n in graph.nodes)
+    elif direction == "total":
+        adj = graph.undirected_adjacency()
+        degrees = (len(adj[n]) for n in graph.nodes)
+    else:
+        raise ValueError(f"direction must be out/in/total, got {direction!r}")
+    histogram: Dict[int, int] = {}
+    for degree in degrees:
+        histogram[degree] = histogram.get(degree, 0) + 1
+    return dict(sorted(histogram.items()))
+
+
 def degree_summary(graph: SocialDigraph) -> Dict[str, float]:
     """Min/mean/max of in- and out-degrees (used in reports)."""
     nodes = graph.nodes

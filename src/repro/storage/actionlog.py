@@ -17,6 +17,12 @@ class ActionKind(Enum):
     POST = "post"
     FOLLOW = "follow"
     UNFOLLOW = "unfollow"
+    #: One compact record for a whole batch of follows (payload carries
+    #: the ordered ``targets`` tuple).  The day-0 bulk bootstrap logs one
+    #: of these per user instead of one FOLLOW per edge, which is what
+    #: makes large-N world builds O(users) instead of O(edges) in log
+    #: records, sync rounds and trace events.
+    FOLLOW_MANY = "follow_many"
 
 
 @dataclass(frozen=True)

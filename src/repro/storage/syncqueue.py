@@ -21,6 +21,10 @@ class SyncQueue:
         self._log = log
         self._acked_seq = 0
         self.sync_count = 0
+        #: Size of the largest batch ever pushed in one round — the bulk
+        #: bootstrap bench asserts a user's whole day-0 follow list went
+        #: up in a single round (per-edge wiring never exceeds 1 here).
+        self.max_batch = 0
 
     @property
     def pending(self) -> List[Action]:
@@ -38,12 +42,16 @@ class SyncQueue:
         """Push pending actions through ``uplink``.
 
         ``uplink`` receives the pending batch and returns the highest
-        sequence number durably accepted (it may accept a prefix).
+        sequence number durably accepted (it may accept a prefix — the
+        unaccepted suffix simply stays pending and is replayed on the
+        next opportunity, so a bulk flush degrades gracefully to
+        multiple rounds when the cloud stops mid-batch).
         Returns the number of actions newly acknowledged.
         """
         batch = self.pending
         if not batch:
             return 0
+        self.max_batch = max(self.max_batch, len(batch))
         accepted = uplink(batch)
         if accepted < self._acked_seq or accepted > self._log.last_seq():
             raise ValueError(

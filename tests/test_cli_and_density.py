@@ -47,6 +47,36 @@ class TestCli:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_graph_stats_command(self, capsys):
+        assert main([
+            "graph-stats", "--users", "200", "--social-graph", "powerlaw_cluster",
+            "--seed", "9",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "powerlaw_cluster" in out
+        assert "directed edges" in out
+        assert "histogram" in out
+
+    def test_graph_stats_default_is_figure4a(self, capsys):
+        assert main(["graph-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "figure4a" in out
+        assert "| 58" in out  # the Fig. 4a edge count
+
+    def test_social_graph_flag_threads_into_config(self, capsys):
+        assert main([
+            "study", "--days", "1", "--posts", "5", "--seed", "3",
+            "--users", "12", "--social-graph", "degree_bounded",
+        ]) == 0
+        assert "density_directed" in capsys.readouterr().out
+
+    def test_per_edge_bootstrap_flag(self, capsys):
+        assert main([
+            "study", "--days", "1", "--posts", "5", "--seed", "3",
+            "--per-edge-bootstrap",
+        ]) == 0
+        assert "density_directed" in capsys.readouterr().out
+
     def test_unknown_protocol_surfaces(self):
         with pytest.raises(KeyError):
             main(["study", "--days", "1", "--posts", "5", "--protocol", "warp"])
@@ -83,3 +113,21 @@ class TestDensitySweep:
         )
         config = sweep._config_for(6)
         assert config.meetups_per_day == sweep.base_config.meetups_per_day
+
+    def test_social_graph_and_bootstrap_overrides(self):
+        sweep = DensitySweep(
+            base_config=ScenarioConfig(seed=8, duration_days=1, total_posts=5),
+            populations=(12,),
+            social_graph="degree_bounded",
+            bulk_bootstrap=False,
+        )
+        config = sweep._config_for(12)
+        assert config.social_graph == "degree_bounded"
+        assert config.bulk_bootstrap is False
+        # None leaves base_config untouched.
+        vanilla = DensitySweep(
+            base_config=ScenarioConfig(seed=8, duration_days=1, total_posts=5),
+            populations=(12,),
+        )
+        assert vanilla._config_for(12).social_graph == "auto"
+        assert vanilla._config_for(12).bulk_bootstrap is True

@@ -113,3 +113,83 @@ class TestProtocolComparison:
         comparison.run()
         text = comparison.report()
         assert "interest" in text and "epidemic" in text
+
+
+class TestBootstrapAndSocialGraphKnobs:
+    """The PR-5 knobs: bulk day-0 wiring and the generator family."""
+
+    def test_bulk_and_per_edge_wiring_equivalent(self):
+        """Everything the analysis consumes must be identical across
+        wiring modes: the delivery/delay traces byte-for-byte, the
+        subscription windows the collector derives (bulk mode's
+        aggregated follow_many events expand to the per-edge windows),
+        and the follow lists recorded in the §V action logs (the bulk
+        mode's compact FOLLOW_MANY records expand to the oracle's
+        per-edge FOLLOW sequence)."""
+        from tests.worldutil import followed_sequences, subscription_windows, trace_lines
+
+        traces, windows, followed = {}, {}, {}
+        for bulk in (True, False):
+            study = GainesvilleStudy(
+                small_config(num_users=12, duration_days=1, total_posts=12,
+                             bulk_bootstrap=bulk)
+            )
+            study.run()
+            traces[bulk] = trace_lines(study.sim, exclude_category="social")
+            windows[bulk] = subscription_windows(study.sim)
+            followed[bulk] = followed_sequences(study.apps)
+        assert any("|message|received|" in line for line in traces[True])
+        assert traces[True] == traces[False]
+        assert windows[True] and windows[True] == windows[False]
+        assert followed[True] == followed[False]
+
+    def test_bulk_wiring_costs_one_round_and_one_record_per_user(self):
+        from repro.storage.actionlog import ActionKind
+
+        study = GainesvilleStudy(
+            small_config(num_users=12, duration_days=1, total_posts=0)
+        )
+        study.build()
+        followers = {a for a, _ in study.social_graph.edges()}
+        assert study.cloud.stats["syncs"] == len(followers)
+        for node in followers:
+            app = study.apps[node]
+            batched = app.actions.of_kind(ActionKind.FOLLOW_MANY)
+            assert len(batched) == 1
+            assert set(batched[0].payload["targets"]) == {
+                study.user_ids[b] for b in study.social_graph.following(node)
+            }
+
+    def test_social_graph_knob_selects_generator(self):
+        study = GainesvilleStudy(
+            small_config(num_users=16, duration_days=1, total_posts=0,
+                         social_graph="degree_bounded")
+        )
+        study.build()
+        assert study.social_graph_kind == "degree_bounded"
+        assert all(
+            study.social_graph.out_degree(n) <= 12 for n in study.social_graph.nodes
+        )
+        # Every graph edge became a day-0 follow.
+        total_follows = sum(len(app.follows) for app in study.apps.values())
+        assert total_follows == study.social_graph.edge_count
+
+    def test_sparse_graph_study_runs_end_to_end(self):
+        config = small_config(num_users=14, duration_days=1, total_posts=10,
+                              social_graph="powerlaw_cluster")
+        study = GainesvilleStudy(config)
+        result = study.run()
+        assert result.unique_messages == 10
+        assert len(result.evaluated_subscriptions) == study.social_graph.edge_count
+
+    def test_ten_user_default_still_uses_figure4a(self):
+        study = GainesvilleStudy(small_config(duration_days=1, total_posts=0))
+        study.build()
+        assert study.social_graph_kind == "figure4a"
+        assert study.social_graph.edge_count == 58
+
+    def test_invalid_social_graph_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(social_graph="smallworld")
+        with pytest.raises(ValueError):
+            ScenarioConfig(social_graph="figure4a", num_users=12)

@@ -17,18 +17,22 @@ from repro.social import (
     SocialDigraph,
     average_shortest_path_length,
     center,
+    degree_bounded_digraph,
     density_directed,
     density_undirected,
     diameter,
     eccentricities,
     figure_4a_graph,
     hub_and_cluster_digraph,
+    make_social_graph,
+    powerlaw_cluster_digraph,
     radius,
     random_digraph,
     reciprocity,
+    resolve_social_graph_kind,
     transitivity_undirected,
 )
-from repro.social.metrics import degree_summary
+from repro.social.metrics import degree_histogram, degree_summary
 
 
 class TestDigraphBasics:
@@ -224,3 +228,108 @@ class TestGenerators:
         assert g.edge_count <= n * (n - 1)
         for a, b in g.edges():
             assert a != b
+
+
+class TestSparseGenerators:
+    """The large-N generator family: hard degree bounds, reciprocity,
+    determinism and connectivity, independent of population size."""
+
+    @given(st.integers(6, 60), st.integers(2, 8), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_degree_bound_is_hard(self, n, out_degree, seed):
+        g = degree_bounded_digraph(range(n), random.Random(seed), out_degree=out_degree)
+        cap = min(out_degree, n - 1)
+        assert g.node_count == n
+        assert all(g.out_degree(node) <= cap for node in g.nodes)
+        assert all(g.out_degree(node) >= 1 for node in g.nodes)  # ring backbone
+        assert g.edge_count <= n * cap
+
+    @given(st.integers(6, 60), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_degree_bounded_weakly_connected(self, n, seed):
+        g = degree_bounded_digraph(range(n), random.Random(seed), out_degree=3)
+        assert g.is_weakly_connected()
+
+    def test_degree_bounded_deterministic_under_fixed_rng(self):
+        a = degree_bounded_digraph(range(40), random.Random(99))
+        b = degree_bounded_digraph(range(40), random.Random(99))
+        c = degree_bounded_digraph(range(40), random.Random(100))
+        assert sorted(a.edges()) == sorted(b.edges())
+        assert sorted(a.edges()) != sorted(c.edges())
+
+    def test_degree_bounded_reciprocity_tracks_knob(self):
+        lo = degree_bounded_digraph(range(200), random.Random(5), reciprocity=0.0)
+        hi = degree_bounded_digraph(range(200), random.Random(5), reciprocity=1.0)
+        assert reciprocity(lo) < 0.2
+        assert reciprocity(hi) > reciprocity(lo) + 0.2
+
+    def test_powerlaw_cluster_degree_independent_of_n(self):
+        """The whole point of the family: mean degree must not grow with
+        N (hub degree does — hubs are the power-law tail — but hubs are
+        a vanishing fraction)."""
+        small = powerlaw_cluster_digraph(range(300), random.Random(7))
+        large = powerlaw_cluster_digraph(range(1200), random.Random(7))
+        mean_small = small.edge_count / small.node_count
+        mean_large = large.edge_count / large.node_count
+        assert mean_large < mean_small * 1.5
+        # ...unlike hub_and_cluster, whose density is fixed per pair.
+        dense = hub_and_cluster_digraph(range(300), random.Random(7))
+        assert small.edge_count < dense.edge_count / 5
+
+    @given(st.integers(8, 80), st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_powerlaw_cluster_weakly_connected(self, n, seed):
+        g = powerlaw_cluster_digraph(range(n), random.Random(seed))
+        assert g.node_count == n
+        assert g.is_weakly_connected()
+
+    def test_powerlaw_cluster_reciprocity_in_field_study_band(self):
+        g = powerlaw_cluster_digraph(range(500), random.Random(3))
+        # Fig. 4a's reciprocity is 0.90; the generated family should sit
+        # in the strongly-but-not-fully-reciprocal band.
+        assert 0.6 < reciprocity(g) < 1.0
+
+    def test_powerlaw_cluster_hubs_are_the_tail(self):
+        g = powerlaw_cluster_digraph(range(1000), random.Random(13))
+        in_degrees = sorted((g.in_degree(n) for n in g.nodes), reverse=True)
+        # The top node dwarfs the median: a power-law popularity tail.
+        median = in_degrees[len(in_degrees) // 2]
+        assert in_degrees[0] > 10 * max(1, median)
+
+    def test_powerlaw_cluster_deterministic_under_fixed_rng(self):
+        a = powerlaw_cluster_digraph(range(100), random.Random(21))
+        b = powerlaw_cluster_digraph(range(100), random.Random(21))
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestSocialGraphFactory:
+    def test_auto_resolves_to_figure4a_at_ten_users(self):
+        assert resolve_social_graph_kind("auto", 10) == "figure4a"
+        assert resolve_social_graph_kind("auto", 11) == "hub_and_cluster"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_social_graph_kind("smallworld", 10)
+
+    def test_figure4a_requires_ten_users(self):
+        with pytest.raises(ValueError):
+            make_social_graph("figure4a", 12, random.Random(1))
+
+    def test_factory_builds_each_family(self):
+        rng = random.Random(2)
+        assert make_social_graph("auto", 10, rng).edge_count == 58
+        for kind in ("hub_and_cluster", "degree_bounded", "powerlaw_cluster"):
+            g = make_social_graph(kind, 24, random.Random(2))
+            assert g.node_count == 24
+            assert g.is_weakly_connected()
+
+    def test_degree_histogram_sums_to_population(self):
+        g = make_social_graph("degree_bounded", 50, random.Random(4))
+        for direction in ("out", "in", "total"):
+            histogram = degree_histogram(g, direction=direction)
+            assert sum(histogram.values()) == 50
+        assert g.edge_count == sum(
+            degree * count for degree, count in degree_histogram(g, "out").items()
+        )
+        with pytest.raises(ValueError):
+            degree_histogram(g, direction="sideways")

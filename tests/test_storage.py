@@ -223,3 +223,63 @@ class TestSyncQueue:
         queue.sync(lambda batch: 1)
         log.append(ActionKind.FOLLOW, "u1", 1.0, target="u2")
         assert queue.pending_count == 1
+
+
+class TestSyncQueueBulkFlush:
+    """Prefix acceptance during a bulk flush (the bootstrap path pushes a
+    user's whole day-0 follow suffix in one round; if the uplink stops
+    mid-batch, the suffix must survive for the next opportunity)."""
+
+    def _queue(self, count):
+        log = ActionLog()
+        for i in range(count):
+            log.append(ActionKind.FOLLOW, "u1", 0.0, target=f"u{i + 2}")
+        return log, SyncQueue(log)
+
+    def test_bulk_flush_is_one_round(self):
+        _, queue = self._queue(100)
+        seen_batches = []
+
+        def uplink(batch):
+            seen_batches.append(len(batch))
+            return batch[-1].seq
+
+        assert queue.sync(uplink) == 100
+        assert seen_batches == [100]  # one round, not one per action
+        assert queue.sync_count == 1
+        assert queue.max_batch == 100
+
+    def test_prefix_acceptance_resumes_at_suffix(self):
+        _, queue = self._queue(10)
+        queue.sync(lambda batch: 4)  # cloud stopped mid-batch
+        assert queue.acked_seq == 4
+        assert [a.seq for a in queue.pending] == list(range(5, 11))
+        # The retry round replays exactly the unacknowledged suffix.
+        replayed = []
+        queue.sync(lambda batch: replayed.extend(a.seq for a in batch) or batch[-1].seq)
+        assert replayed == list(range(5, 11))
+        assert queue.pending_count == 0
+
+    def test_zero_progress_round_keeps_everything_pending(self):
+        _, queue = self._queue(5)
+        assert queue.sync(lambda batch: queue.acked_seq) == 0
+        assert queue.pending_count == 5
+
+    @given(st.lists(st.integers(min_value=0, max_value=30), min_size=1, max_size=8))
+    def test_any_prefix_schedule_eventually_drains(self, accepts):
+        """Property: whatever prefix sizes the cloud accepts per round,
+        repeated sync rounds never lose, reorder or duplicate actions."""
+        log, queue = self._queue(30)
+        delivered = []
+
+        for accept in accepts + [30]:
+            def uplink(batch, accept=accept):
+                take = min(accept, len(batch))
+                if take == 0:
+                    return queue.acked_seq
+                delivered.extend(a.seq for a in batch[:take])
+                return batch[take - 1].seq
+
+            queue.sync(uplink)
+        assert delivered == list(range(1, 31))
+        assert queue.pending_count == 0

@@ -22,6 +22,44 @@ from repro.pki.keystore import KeyStore
 from repro.sim.engine import Simulator
 
 
+def trace_lines(sim: Simulator, exclude_category: Optional[str] = None) -> List[str]:
+    """Render a trace stream as comparable lines (the byte-identity
+    oracle used by the equivalence tests and benches)."""
+    return [
+        f"{event.time!r}|{event.category}|{event.kind}|{sorted(event.data.items())!r}"
+        for event in sim.trace
+        if event.category != exclude_category
+    ]
+
+
+def subscription_windows(sim: Simulator) -> List[tuple]:
+    """The collector-derived subscription windows, as comparable tuples."""
+    from repro.metrics.collector import TraceCollector
+
+    return [
+        (w.follower, w.followee, w.start, w.end)
+        for w in TraceCollector(sim.trace).subscription_windows
+    ]
+
+
+def followed_sequences(apps) -> Dict[object, List[str]]:
+    """Expand each app's logged follow actions (per-edge FOLLOW or the
+    bulk path's compact FOLLOW_MANY) to the ordered followee sequence
+    they record — the wiring-mode equivalence oracle for action logs."""
+    from repro.storage.actionlog import ActionKind
+
+    out: Dict[object, List[str]] = {}
+    for key, app in apps.items():
+        expanded: List[str] = []
+        for action in app.actions:
+            if action.kind is ActionKind.FOLLOW:
+                expanded.append(action.payload["target"])
+            elif action.kind is ActionKind.FOLLOW_MANY:
+                expanded.extend(action.payload["targets"])
+        out[key] = expanded
+    return out
+
+
 class World:
     """A small in-memory deployment for tests."""
 
