@@ -24,9 +24,12 @@ from repro.core.delegates import SosDelegate
 from repro.core.middleware import SOSMiddleware
 from repro.core.routing.registry import RoutingRegistry
 from repro.crypto.drbg import RandomSource
+# Imported from the dependency-free module, not the repro.faults package,
+# so attaching a retry policy never drags the injector into this import graph.
+from repro.faults.retry import RetryPolicy
 from repro.mpc.framework import MpcFramework
 from repro.pki.keystore import KeyStore
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
 from repro.storage.actionlog import ActionKind, ActionLog
 from repro.storage.messagestore import StoredMessage
 from repro.storage.syncqueue import SyncQueue
@@ -47,6 +50,7 @@ class AlleyOopApp(SosDelegate):
         rng: RandomSource,
         config: Optional[SosConfig] = None,
         registry: Optional[RoutingRegistry] = None,
+        resilience: Optional[RetryPolicy] = None,
     ) -> None:
         self.sim = sim
         self.user_id = user_id
@@ -55,6 +59,20 @@ class AlleyOopApp(SosDelegate):
         self.actions = ActionLog()
         self.sync_queue = SyncQueue(self.actions)
         self.feed = Feed()
+        #: Retry schedule for failed cloud syncs; None keeps the seed's
+        #: fire-and-forget behaviour (no retry events, no trace emissions).
+        self.resilience = resilience
+        #: Failed sync attempts over this app's lifetime (counts always,
+        #: with or without a retry policy).
+        self.sync_failures = 0
+        self._sync_attempt = 0
+        self._retry_event: Optional[Event] = None
+        # Jitter draws come from a named sim stream so a fixed seed fully
+        # determines the retry schedule; created only when resilience is
+        # on, keeping faults=none runs byte-identical to the seed.
+        self._retry_rng = (
+            sim.streams.get(f"sync-retry:{user_id}") if resilience is not None else None
+        )
         self.follows: Set[str] = set()
         #: Subscription knowledge gossiped by other users (author ->
         #: followee set), maintained when gossip_follows is enabled.
@@ -196,13 +214,93 @@ class AlleyOopApp(SosDelegate):
         """The in-app scheme toggle (§VII)."""
         self.sos.select_protocol(name)
 
+    # -- lifecycle under faults ---------------------------------------------------------
+    def crash(self) -> None:
+        """Abrupt device loss.  Volatile state — the feed, notifications,
+        the retry timer and attempt counter, every middleware cache and
+        secure channel — is gone; durable state — the action log, the
+        acknowledged sync prefix, the keystore and its anti-replay
+        record — survives for :meth:`reboot`."""
+        self._cancel_retry()
+        self._sync_attempt = 0
+        self.feed = Feed()
+        self._notifications.clear()
+        self.sos.crash()
+
+    def reboot(self) -> None:
+        """Come back up after :meth:`crash`: go on-air again and, when a
+        retry policy is attached, immediately re-attempt the sync of the
+        surviving unacknowledged suffix (§V's "when the Internet becomes
+        available" applies across restarts too)."""
+        self.sos.reboot()
+        if self.resilience is not None and self.sync_queue.pending_count:
+            self.try_cloud_sync()
+
     # -- cloud --------------------------------------------------------------------------
     def try_cloud_sync(self) -> int:
-        """Opportunistically sync pending actions; 0 when offline."""
+        """Opportunistically sync pending actions; 0 when the sync failed.
+
+        Failures always increment :attr:`sync_failures`.  With a
+        :class:`~repro.faults.retry.RetryPolicy` attached, a failure also
+        emits a ``cloud/sync_failed`` trace event and schedules a single
+        outstanding retry with exponential backoff + jitter; without one
+        (the seed configuration — whose default study runs with the cloud
+        offline, failing every post-time sync) the failure stays silent so
+        ``faults=none`` traces remain byte-identical to the seed.
+        """
         try:
-            return self.sync_queue.sync(self.cloud.sync_uplink(self.user_id))
-        except CloudError:
+            newly = self.sync_queue.sync(self.cloud.sync_uplink(self.user_id))
+        except CloudError as exc:
+            self.sync_failures += 1
+            if self.resilience is not None:
+                self.sim.trace.emit(
+                    self.sim.now,
+                    "cloud",
+                    "sync_failed",
+                    owner=self.user_id,
+                    pending=self.sync_queue.pending_count,
+                    attempt=self._sync_attempt,
+                    error=str(exc),
+                )
+                self._schedule_retry()
             return 0
+        if newly > 0:
+            self._sync_attempt = 0
+        if self.resilience is not None:
+            if self.sync_queue.pending_count:
+                # Partial acceptance: the unacknowledged suffix needs
+                # another round (backoff still grows if no progress).
+                self._schedule_retry()
+            else:
+                self._cancel_retry()
+        return newly
+
+    def _schedule_retry(self) -> None:
+        """Keep exactly one outstanding retry; backoff grows per attempt."""
+        if self._retry_event is not None:
+            return
+        delay = self.resilience.schedule(self._sync_attempt, self._retry_rng.random)
+        self._sync_attempt += 1
+        self._retry_event = self.sim.schedule_in(
+            delay, self._retry_sync, name=f"sync-retry:{self.user_id}"
+        )
+        self.sim.trace.emit(
+            self.sim.now,
+            "cloud",
+            "sync_retry",
+            owner=self.user_id,
+            attempt=self._sync_attempt,
+            delay=round(delay, 3),
+        )
+
+    def _retry_sync(self) -> None:
+        self._retry_event = None
+        self.try_cloud_sync()
+
+    def _cancel_retry(self) -> None:
+        if self._retry_event is not None:
+            self._retry_event.cancel()
+            self._retry_event = None
 
     def refresh_revocations(self) -> bool:
         """Pull the CA's CRL — only works with infrastructure (§IV)."""

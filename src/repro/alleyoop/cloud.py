@@ -10,7 +10,7 @@ with the cloud switched off after t=0 produces identical D2D results.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.core.advertisement import validate_user_id
 from repro.pki.ca import CertificateAuthority
@@ -52,6 +52,12 @@ class CloudService:
         #: message history.
         self._next_account_index = 0
         self.online = True
+        #: Optional fault gate (``(user_id, batch) -> batch``), installed
+        #: by the fault injector.  Runs inside :meth:`sync_batch` after the
+        #: online check and before any state changes; it may raise
+        #: :class:`CloudError` (transient timeout, rate limit) or return a
+        #: truncated batch (partial durable acceptance).
+        self.sync_faults: Optional[Callable[[str, List[Action]], List[Action]]] = None
         self.stats = {"signups": 0, "certificates_issued": 0, "syncs": 0, "actions_accepted": 0}
 
     def _require_online(self) -> None:
@@ -165,6 +171,8 @@ class CloudService:
         one round per edge.
         """
         self._require_online()
+        if self.sync_faults is not None:
+            batch = self.sync_faults(user_id, batch)
         account = self._by_user_id.get(user_id)
         if account is None:
             raise CloudError(f"unknown user id {user_id!r}")

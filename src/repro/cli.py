@@ -19,6 +19,7 @@ import sys
 from typing import List, Optional
 
 from repro.core.routing.registry import RoutingRegistry
+from repro.faults.plan import FAULT_PRESET_NAMES
 from repro.pki.provisioning import PROVISIONING_MODES
 from repro.experiments import (
     DensitySweep,
@@ -81,6 +82,22 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "oracle) instead of the bulk per-user batch (same traces; for "
         "benchmarking)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="fault plan: a preset "
+        f"({', '.join(FAULT_PRESET_NAMES)}), optionally followed by "
+        "comma-separated key=value overrides, or a bare override list "
+        '(e.g. "mild,frame_drop_prob=0.2"); default: none',
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="seed for the fault-injection DRBG (default: derived from "
+        "--seed); same plan + same fault seed = identical traces",
+    )
 
 
 def _config_from(args: argparse.Namespace) -> ScenarioConfig:
@@ -105,6 +122,10 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
         kwargs["social_graph"] = args.social_graph
     if args.per_edge_bootstrap:
         kwargs["bulk_bootstrap"] = False
+    if args.faults is not None:
+        kwargs["faults"] = args.faults
+    if args.fault_seed is not None:
+        kwargs["fault_seed"] = args.fault_seed
     return ScenarioConfig(**kwargs)
 
 
@@ -117,6 +138,18 @@ def cmd_study(args: argparse.Namespace) -> int:
     )
     result = GainesvilleStudy(config).run()
     print(result.report())
+    if result.collector.fault_counts or result.collector.cloud_counts:
+        injected = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(result.collector.fault_counts.items())
+        ) or "(none)"
+        recovery = ", ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(result.collector.cloud_counts.items())
+        ) or "(none)"
+        print()
+        print(f"injected faults: {injected}")
+        print(f"sync resilience: {recovery}")
     if args.map:
         print()
         print("Fig. 4b overlay (b=creation, r=dissemination, x=both):")

@@ -136,6 +136,25 @@ class AdHocManager(SessionDelegate, BrowserDelegate, AdvertiserDelegate):
         self.browser.stop()
         self.session.disconnect()
 
+    def crash(self) -> None:
+        """Abrupt device loss: volatile peer state dies, durable security
+        state survives.
+
+        Peer records, secure channels and certificate-exchange timers are
+        RAM — gone.  The keystore (disk) and the anti-replay record of
+        seen session-key fingerprints plus the blacklist survive, which is
+        what lets the manager reject a replayed handshake recorded before
+        the crash (the security property the chaos tests assert)."""
+        for state in self._peers.values():
+            if state.cert_timer is not None:
+                state.cert_timer.cancel()
+                state.cert_timer = None
+            self._drop_channel(state)
+        self._peers.clear()
+        self.advertiser.stop()
+        self.browser.stop()
+        self.session.disconnect()
+
     # -- advertising -------------------------------------------------------------
     def set_advertisement(self, marks: Dict[str, int]) -> None:
         """Publish the plain-text UserID -> MessageNumber dictionary."""

@@ -198,8 +198,20 @@ class MessageManager(RouterServices):
         packet = SosPacket.control(self.user_id, self._protocol.name, payload)
         try:
             self._adhoc.send_packet(peer_user, packet)
-        except SecurityError:
-            pass
+        except SecurityError as exc:
+            # The peer desecured between the protocol's decision and the
+            # send (lost link, failed rekey).  Harmless for correctness —
+            # control payloads are advisory — but a silent drop also hides
+            # real wiring bugs, so record the diagnostic.
+            self._sim.trace.emit(
+                self._sim.now,
+                "router",
+                "control_send_failed",
+                owner=self.user_id,
+                peer=peer_user,
+                protocol=self._protocol.name,
+                reason=str(exc),
+            )
 
     def secured_peers(self) -> List[str]:
         return self._adhoc.secured_users()
@@ -210,6 +222,19 @@ class MessageManager(RouterServices):
     @property
     def relay_request_grace(self) -> float:
         return self._adhoc.config.relay_request_grace
+
+    def reset_volatile(self) -> None:
+        """Crash support: drop everything that lives only in RAM.
+
+        In-flight transfer bookkeeping, request suppression, the
+        untransferred record and the originator-verification memo are all
+        reconstructible caches; the message store (disk) is not touched."""
+        self._in_flight.clear()
+        self._requested.clear()
+        self._requested_sweep_due = 0.0
+        self.untransferred.clear()
+        self._verified_origins.clear()
+        self._known_peers.clear()
 
     # -- advertisement ----------------------------------------------------------------
     def refresh_advertisement(self) -> None:

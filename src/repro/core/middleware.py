@@ -88,6 +88,18 @@ class SOSMiddleware:
             self._started = False
             self.adhoc.stop()
 
+    def crash(self) -> None:
+        """Abrupt device loss (fault injection): volatile state is gone,
+        durable state (keystore, message store) survives for reboot."""
+        self._started = False
+        self.adhoc.crash()
+        self.messages.reset_volatile()
+
+    def reboot(self) -> None:
+        """Come back up after :meth:`crash`: go on-air again and republish
+        the advertisement from the (durable) message store."""
+        self.start()
+
     # -- routing protocol selection -------------------------------------------------
     @property
     def protocol_name(self) -> str:

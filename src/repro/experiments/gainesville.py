@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.alleyoop import AlleyOopApp, CloudService
 from repro.core.config import SosConfig
 from repro.crypto.drbg import HmacDrbg
+from repro.faults import FaultInjector
 from repro.pki.provisioning import KeypairPool, default_cache_dir, provision_user
 from repro.experiments.scenario import ScenarioConfig
 from repro.geo.region import Region
@@ -131,6 +132,8 @@ class GainesvilleStudy:
         #: The concrete generator "auto" resolved to (set by build()).
         self.social_graph_kind: Optional[str] = None
         self.keypair_pool = None  # set by build() for pooled/lazy modes
+        #: The fault injector, or None when ``config.faults == "none"``.
+        self.injector: Optional[FaultInjector] = None
         self._overlay: Optional[MapOverlay] = None
         self._built = False
 
@@ -140,6 +143,7 @@ class GainesvilleStudy:
         if self._built:
             return
         cfg = self.config
+        fault_plan = cfg.fault_plan()
         self.sim = Simulator(seed=cfg.seed)
         self.medium = Medium(
             self.sim, tick_interval=cfg.medium_tick_s, batched=cfg.medium_batched
@@ -227,6 +231,7 @@ class GainesvilleStudy:
                 cloud=self.cloud,
                 rng=HmacDrbg.from_int(cfg.seed * 15485863 + index),
                 config=sos_config,
+                resilience=None if fault_plan.is_none else fault_plan.retry_policy(),
             )
 
         self._wire_day0_follows()
@@ -237,10 +242,19 @@ class GainesvilleStudy:
         self._schedule_duty_cycle()
         self._schedule_posts()
         self._attach_overlay(region)
-        if not cfg.cloud_online_after_signup:
+        if not cfg.cloud_online_after_signup and not fault_plan.has_cloud_outages:
             # The one-time infrastructure requirement: after sign-up the
-            # cloud goes dark and everything below is D2D only.
+            # cloud goes dark and everything below is D2D only.  When the
+            # plan configures connectivity windows, the ConnectivityModel
+            # owns the online flag instead.
             self.cloud.online = False
+        if not fault_plan.is_none:
+            self.injector = FaultInjector(
+                self.sim, fault_plan, cfg.resolved_fault_seed()
+            )
+            self.injector.install(
+                self.cloud, self.medium, self.framework, list(self.apps.values())
+            )
         for app in self.apps.values():
             app.start()
         self.medium.start()

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+from repro.faults.plan import FaultPlan
 from repro.pki.provisioning import PROVISIONING_MODES
 from repro.social.generators import resolve_social_graph_kind
 
@@ -159,6 +160,18 @@ class ScenarioConfig:
     #: prove the "one-time infrastructure" property; deliveries are D2D.
     cloud_online_after_signup: bool = False
 
+    # -- fault injection ----------------------------------------------------------------
+    #: Fault plan spec (see repro.faults.plan.FaultPlan.parse): ``"none"``
+    #: (default — the whole subsystem stays out of the run and traces are
+    #: byte-identical to a faultless build), a preset name (``"mild"``,
+    #: ``"harsh"``), optionally with ``key=value`` overrides, or a bare
+    #: override list.  When active, every app also gets the plan's
+    #: retry/backoff policy for cloud sync.
+    faults: str = "none"
+    #: Seed for the fault DRBG substreams; ``None`` derives one from
+    #: ``seed`` so fault schedules stay independent of the sim's streams.
+    fault_seed: Optional[int] = None
+
     def __post_init__(self) -> None:
         if self.num_users < 2:
             raise ValueError("need at least two users")
@@ -179,6 +192,21 @@ class ScenarioConfig:
         # Unknown kinds and the figure4a/num_users constraint are
         # rejected by the knob's single validation point.
         resolve_social_graph_kind(self.social_graph, self.num_users)
+        # Same discipline for the fault spec: reject bad plans at config
+        # time, not mid-build.
+        FaultPlan.parse(self.faults)
+
+    def fault_plan(self) -> FaultPlan:
+        """The parsed fault plan for this scenario."""
+        return FaultPlan.parse(self.faults)
+
+    def resolved_fault_seed(self) -> int:
+        """The fault-DRBG seed: explicit, or derived from ``seed`` (a
+        fixed affine map keeps it distinct from every other seed the
+        simulator derives)."""
+        if self.fault_seed is not None:
+            return self.fault_seed
+        return self.seed * 6_700_417 + 3
 
     @property
     def duration_seconds(self) -> float:

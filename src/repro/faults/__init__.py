@@ -1,0 +1,29 @@
+"""Deterministic fault injection (ROADMAP item 4).
+
+Public surface:
+
+* :class:`~repro.faults.plan.FaultPlan` — declarative fault description
+  (presets, CLI spec parsing, sampled plans for chaos tests),
+* :class:`~repro.faults.injector.FaultInjector` — schedules every enabled
+  fault process from DRBG substreams of one fault seed,
+* :class:`~repro.faults.retry.RetryPolicy` — the exponential-backoff
+  schedule the resilient sync path runs under,
+* :class:`~repro.faults.connectivity.ConnectivityModel` /
+  :class:`~repro.faults.connectivity.CloudFaultGate` — the cloud-facing
+  fault processes (usable standalone in tests).
+"""
+
+from repro.faults.connectivity import CloudFaultGate, ConnectivityModel
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_PRESET_NAMES, PRESETS, FaultPlan
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "CloudFaultGate",
+    "ConnectivityModel",
+    "FaultInjector",
+    "FaultPlan",
+    "FAULT_PRESET_NAMES",
+    "PRESETS",
+    "RetryPolicy",
+]

@@ -1,0 +1,125 @@
+"""Cloud connectivity faults.
+
+Two cooperating pieces model the paper's unreliable Internet (§V: actions
+sync "when the Internet becomes available"):
+
+* :class:`ConnectivityModel` drives the cloud's ``online`` flag through
+  alternating exponential up/down windows scheduled on the simulator —
+  the macroscopic outages that make the DTN path matter.
+* :class:`CloudFaultGate` sits inside ``CloudService.sync_batch`` and
+  injects the microscopic failures of a real backend: transient timeouts,
+  rate-limit rejections, and partial (prefix-only) durable acceptance.
+
+Both draw exclusively from DRBG substreams owned by the injector, and
+both emit ``fault/*`` trace events so degradation is measurable from the
+trace alone.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.alleyoop.cloud import CloudError, CloudService
+from repro.crypto.drbg import RandomSource
+from repro.faults.plan import FaultPlan
+from repro.faults.randomness import expovariate, uniform
+from repro.sim.engine import Simulator
+from repro.storage.actionlog import Action
+
+
+class ConnectivityModel:
+    """Alternating online/offline windows for one :class:`CloudService`.
+
+    The model owns ``cloud.online`` for the whole run: it forces the
+    cloud up at start and schedules the first outage; every transition
+    emits a ``fault/cloud_down`` / ``fault/cloud_up`` trace event.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud: CloudService,
+        plan: FaultPlan,
+        drbg: RandomSource,
+        owner: Optional[object] = None,
+    ) -> None:
+        if not plan.has_cloud_outages:
+            raise ValueError("plan has no connectivity windows configured")
+        self.sim = sim
+        self.cloud = cloud
+        self.plan = plan
+        self._drbg = drbg
+        self._owner = owner if owner is not None else self
+        self.transitions = 0
+
+    def start(self) -> None:
+        self.cloud.online = True
+        self._schedule(self.plan.cloud_mean_up_s, self._go_down)
+
+    def _schedule(self, mean: float, callback) -> None:
+        self.sim.schedule_in(
+            expovariate(self._drbg, mean),
+            callback,
+            owner=self._owner,
+            name="cloud-window",
+        )
+
+    def _go_down(self) -> None:
+        self.cloud.online = False
+        self.transitions += 1
+        self.sim.trace.emit(self.sim.now, "fault", "cloud_down")
+        self._schedule(self.plan.cloud_mean_down_s, self._go_up)
+
+    def _go_up(self) -> None:
+        self.cloud.online = True
+        self.transitions += 1
+        self.sim.trace.emit(self.sim.now, "fault", "cloud_up")
+        self._schedule(self.plan.cloud_mean_up_s, self._go_down)
+
+
+class CloudFaultGate:
+    """Per-call sync faults, installed as ``CloudService.sync_faults``.
+
+    ``admit`` runs after the online check and before any state changes;
+    it may raise :class:`CloudError` (transient timeout, rate limit) or
+    return a truncated batch (prefix-only durable acceptance).  The sync
+    queue's at-least-once replay contract absorbs all three.
+    """
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, drbg: RandomSource) -> None:
+        self.sim = sim
+        self.plan = plan
+        self._drbg = drbg
+        self._window_start = float("-inf")
+        self._calls_in_window = 0
+        self.stats = {"timeouts": 0, "rate_limited": 0, "partial": 0}
+
+    def admit(self, user_id: str, batch: List[Action]) -> List[Action]:
+        plan = self.plan
+        now = self.sim.now
+        if plan.cloud_rate_limit > 0:
+            if now - self._window_start >= plan.cloud_rate_window_s:
+                self._window_start = now
+                self._calls_in_window = 0
+            self._calls_in_window += 1
+            if self._calls_in_window > plan.cloud_rate_limit:
+                self.stats["rate_limited"] += 1
+                self.sim.trace.emit(now, "fault", "cloud_rate_limited", user=user_id)
+                raise CloudError("rate limited")
+        if plan.cloud_timeout_prob > 0 and uniform(self._drbg) < plan.cloud_timeout_prob:
+            self.stats["timeouts"] += 1
+            self.sim.trace.emit(now, "fault", "cloud_timeout", user=user_id)
+            raise CloudError("transient timeout")
+        if (
+            plan.cloud_partial_prob > 0
+            and batch
+            and uniform(self._drbg) < plan.cloud_partial_prob
+        ):
+            keep = self._drbg.read_int_below(len(batch))
+            self.stats["partial"] += 1
+            self.sim.trace.emit(
+                now, "fault", "cloud_partial", user=user_id,
+                offered=len(batch), kept=keep,
+            )
+            return batch[:keep]
+        return batch

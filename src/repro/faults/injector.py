@@ -1,0 +1,207 @@
+"""The fault injector: turns a :class:`FaultPlan` into scheduled chaos.
+
+One injector owns every fault process of a run.  All randomness comes
+from HMAC-DRBG substreams derived from a single fault seed (independent
+of the simulation seed), one stream per fault axis, so:
+
+* two runs with the same plan + fault seed produce byte-identical traces,
+* a plan with an axis disabled never draws from that axis's stream, so
+  enabling one axis does not shift any other axis's schedule.
+
+Every event the injector schedules carries ``owner=self``; chaos tests
+call :meth:`FaultInjector.quiesce` to cancel all of them at once, restore
+connectivity and reboot crashed devices, then assert convergence.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.alleyoop.cloud import CloudService
+from repro.crypto.drbg import HmacDrbg
+from repro.faults.connectivity import CloudFaultGate, ConnectivityModel
+from repro.faults.plan import FaultPlan
+from repro.faults.randomness import choice_index, expovariate, uniform, uniform_in
+from repro.mpc.framework import MpcFramework
+from repro.net.medium import Medium
+from repro.sim.engine import Simulator
+
+_DAY_S = 86400.0
+_HOUR_S = 3600.0
+
+#: Substream labels, in derivation order.  Appending is safe; reordering
+#: changes every fault schedule.
+_STREAMS = ("cloud", "gate", "crash", "link", "frames")
+
+
+class FaultInjector:
+    """Deterministic fault processes for one simulated world."""
+
+    def __init__(self, sim: Simulator, plan: FaultPlan, seed: int) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.seed = seed
+        root = HmacDrbg.from_int(seed)
+        self._streams = {name: root.spawn(name.encode()) for name in _STREAMS}
+        self.connectivity: Optional[ConnectivityModel] = None
+        self.gate: Optional[CloudFaultGate] = None
+        self.cloud: Optional[CloudService] = None
+        self.medium: Optional[Medium] = None
+        self.framework: Optional[MpcFramework] = None
+        self.apps: List[object] = []
+        #: user_id -> (app, device) of currently-crashed nodes.
+        self._down: Dict[str, Tuple[object, object]] = {}
+        self._installed = False
+        self.stats = {
+            "crashes": 0,
+            "reboots": 0,
+            "link_flaps": 0,
+            "frames_dropped": 0,
+            "frames_corrupted": 0,
+        }
+
+    # -- wiring ------------------------------------------------------------------
+    def install(
+        self,
+        cloud: CloudService,
+        medium: Medium,
+        framework: MpcFramework,
+        apps: List[object],
+    ) -> None:
+        """Attach to a built world and start every enabled fault process.
+
+        ``apps`` are AlleyOop apps (anything exposing ``user_id``,
+        ``sos.adhoc.peer_id.device_id``, ``crash()`` and ``reboot()``);
+        they are processed in sorted user-id order for determinism.
+        """
+        if self._installed:
+            raise RuntimeError("injector already installed")
+        self._installed = True
+        self.cloud = cloud
+        self.medium = medium
+        self.framework = framework
+        self.apps = sorted(apps, key=lambda a: a.user_id)
+        plan = self.plan
+        if plan.has_cloud_outages:
+            self.connectivity = ConnectivityModel(
+                self.sim, cloud, plan, self._streams["cloud"], owner=self
+            )
+            self.connectivity.start()
+        if plan.has_cloud_gate:
+            self.gate = CloudFaultGate(self.sim, plan, self._streams["gate"])
+            cloud.sync_faults = self.gate.admit
+        if plan.has_device_faults:
+            for app in self.apps:
+                self._schedule_crash(app)
+        if plan.has_frame_faults:
+            framework.frame_fault = self._frame_fault
+        if plan.has_link_flaps:
+            self._schedule_flap()
+
+    # -- device crash / reboot -----------------------------------------------------
+    def _schedule_crash(self, app) -> None:
+        gap = expovariate(
+            self._streams["crash"], _DAY_S / self.plan.crash_rate_per_day
+        )
+        self.sim.schedule_in(
+            gap, self._crash, app, owner=self, name=f"fault-crash:{app.user_id}"
+        )
+
+    def _crash(self, app) -> None:
+        device_id = app.sos.adhoc.peer_id.device_id
+        device = self.medium.devices.get(device_id)
+        # A powered-off device (duty cycle) or an already-crashed one has
+        # nothing volatile to lose; skip the injection but keep the
+        # Poisson process going.
+        if (
+            device is not None
+            and device.powered_on
+            and app.user_id not in self._down
+        ):
+            self.stats["crashes"] += 1
+            self.sim.trace.emit(
+                self.sim.now, "fault", "crash", user=app.user_id, device=device_id
+            )
+            self.medium.drop_links_of(device_id)
+            device.power_off()
+            app.crash()
+            self._down[app.user_id] = (app, device)
+            delay = uniform_in(self._streams["crash"], *self.plan.reboot_delay_s)
+            self.sim.schedule_in(
+                delay, self._reboot, app, owner=self, name=f"fault-reboot:{app.user_id}"
+            )
+        self._schedule_crash(app)
+
+    def _reboot(self, app) -> None:
+        entry = self._down.pop(app.user_id, None)
+        if entry is None:
+            return
+        _, device = entry
+        self.stats["reboots"] += 1
+        self.sim.trace.emit(
+            self.sim.now, "fault", "reboot", user=app.user_id, device=device.device_id
+        )
+        device.power_on()
+        app.reboot()
+
+    # -- link flaps ------------------------------------------------------------------
+    def _schedule_flap(self) -> None:
+        gap = expovariate(
+            self._streams["link"], _HOUR_S / self.plan.link_flap_rate_per_hour
+        )
+        self.sim.schedule_in(gap, self._flap, owner=self, name="fault-link-flap")
+
+    def _flap(self) -> None:
+        keys = self.medium.active_link_keys()
+        if keys:
+            a, b = keys[choice_index(self._streams["link"], len(keys))]
+            self.stats["link_flaps"] += 1
+            self.sim.trace.emit(self.sim.now, "fault", "link_flap", a=a, b=b)
+            self.medium.force_drop(a, b)
+        self._schedule_flap()
+
+    # -- frame faults -----------------------------------------------------------------
+    def _frame_fault(self, pair: Tuple[str, str], data: bytes) -> Optional[bytes]:
+        """MpcFramework delivery hook: None drops the frame, otherwise the
+        returned bytes are delivered (possibly corrupted — the receiver
+        must surface that as a decode/security diagnostic, never a crash)."""
+        plan = self.plan
+        u = uniform(self._streams["frames"])
+        if u < plan.frame_drop_prob:
+            self.stats["frames_dropped"] += 1
+            self.sim.trace.emit(
+                self.sim.now, "fault", "frame_drop", a=pair[0], b=pair[1], size=len(data)
+            )
+            return None
+        if u < plan.frame_drop_prob + plan.frame_corrupt_prob and data:
+            index = choice_index(self._streams["frames"], len(data))
+            mask = 1 + choice_index(self._streams["frames"], 255)
+            self.stats["frames_corrupted"] += 1
+            self.sim.trace.emit(
+                self.sim.now, "fault", "frame_corrupt",
+                a=pair[0], b=pair[1], offset=index,
+            )
+            return data[:index] + bytes([data[index] ^ mask]) + data[index + 1 :]
+        return data
+
+    # -- convergence support ------------------------------------------------------------
+    def quiesce(self) -> int:
+        """Stop injecting and heal the world (chaos-test epilogue).
+
+        Cancels every injector-owned scheduled event, detaches the cloud
+        gate and frame hook, forces the cloud online and reboots any
+        still-crashed device.  Returns the number of cancelled events.
+        The retry/backoff machinery is deliberately left running — the
+        whole point of the quiet period is to watch it converge.
+        """
+        cancelled = self.sim.cancel_owned(self)
+        if self.framework is not None:
+            self.framework.frame_fault = None
+        if self.cloud is not None:
+            self.cloud.sync_faults = None
+            self.cloud.online = True
+        for user_id in sorted(self._down):
+            app, device = self._down.pop(user_id)
+            device.power_on()
+            app.reboot()
+        return cancelled

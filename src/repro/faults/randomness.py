@@ -1,0 +1,42 @@
+"""Distribution helpers over the deterministic DRBG byte source.
+
+The fault subsystem draws every random quantity from
+:class:`~repro.crypto.drbg.HmacDrbg` substreams rather than
+``random.Random`` so that a fault seed fully determines the whole fault
+schedule, independent of anything else the simulation draws.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.crypto.drbg import RandomSource
+
+_U64 = float(1 << 64)
+
+
+def uniform(drbg: RandomSource) -> float:
+    """Uniform float in [0, 1)."""
+    return int.from_bytes(drbg.read(8), "big") / _U64
+
+
+def uniform_in(drbg: RandomSource, lo: float, hi: float) -> float:
+    """Uniform float in [lo, hi)."""
+    if hi < lo:
+        raise ValueError(f"empty interval [{lo}, {hi})")
+    return lo + (hi - lo) * uniform(drbg)
+
+
+def expovariate(drbg: RandomSource, mean: float) -> float:
+    """Exponential holding time with the given mean (seconds)."""
+    if mean <= 0:
+        raise ValueError(f"mean must be positive, got {mean!r}")
+    # 1 - u is in (0, 1], so the log argument never hits zero.
+    return -mean * math.log(1.0 - uniform(drbg))
+
+
+def choice_index(drbg: RandomSource, n: int) -> int:
+    """Uniform index in [0, n)."""
+    if n <= 0:
+        raise ValueError(f"cannot choose from {n} items")
+    return drbg.read_int_below(n)

@@ -1,0 +1,54 @@
+"""Exponential backoff with jitter for the resilient cloud-sync path.
+
+Deliberately dependency-free: the application layer imports this module
+directly (not the :mod:`repro.faults` package), so attaching a retry
+policy to an app never drags the injector machinery into the import graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Truncated binary exponential backoff with multiplicative jitter.
+
+    ``delay(attempt, u)`` for attempt 0, 1, 2, ... is::
+
+        min(cap_s, base_s * 2**attempt) * (1 + jitter * u)
+
+    with ``u`` a uniform [0, 1) draw supplied by the caller — the policy
+    itself is a pure function, so determinism is decided entirely by
+    where the caller gets its randomness (the sim's named streams, for
+    byte-identical replays).
+    """
+
+    base_s: float = 30.0
+    cap_s: float = 900.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.base_s <= 0:
+            raise ValueError("base_s must be positive")
+        if self.cap_s < self.base_s:
+            raise ValueError("cap_s must be >= base_s")
+        if self.jitter < 0:
+            raise ValueError("jitter must be non-negative")
+
+    def delay(self, attempt: int, u: float = 0.0) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        if attempt < 0:
+            raise ValueError(f"negative attempt {attempt}")
+        if not 0.0 <= u < 1.0:
+            raise ValueError(f"jitter draw must be in [0, 1), got {u!r}")
+        # Cap the exponent before shifting so huge attempt counts cannot
+        # overflow into bignum territory.
+        exponent = min(attempt, 63)
+        raw = self.base_s * (1 << exponent)
+        return min(self.cap_s, raw) * (1.0 + self.jitter * u)
+
+    def schedule(self, attempt: int, rand: Callable[[], float]) -> float:
+        """``delay`` with the jitter draw taken from ``rand()``."""
+        return self.delay(attempt, rand() if self.jitter > 0 else 0.0)

@@ -69,6 +69,11 @@ class TraceCollector:
         self.messages: Dict[Tuple[str, int], MessageRecord] = {}
         self.deliveries: List[DeliveryRecord] = []
         self.subscription_windows: List[SubscriptionWindow] = []
+        #: Injected-fault events by kind (``crash``, ``cloud_down``,
+        #: ``frame_drop``, ...) — empty for a faultless run.
+        self.fault_counts: Dict[str, int] = defaultdict(int)
+        #: Resilient-sync events by kind (``sync_failed``, ``sync_retry``).
+        self.cloud_counts: Dict[str, int] = defaultdict(int)
         open_windows: Dict[Tuple[str, str], SubscriptionWindow] = {}
 
         for event in trace:
@@ -108,6 +113,10 @@ class TraceCollector:
                 window = open_windows.pop(key, None)
                 if window is not None:
                     window.end = event.time
+            elif event.category == "fault":
+                self.fault_counts[event.kind] += 1
+            elif event.category == "cloud":
+                self.cloud_counts[event.kind] += 1
 
     def _open_window(
         self,

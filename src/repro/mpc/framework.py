@@ -64,6 +64,12 @@ class MpcFramework:
         self._pair_busy_until: Dict[Tuple[str, str], float] = {}
         medium.on_link_up(self._link_up)
         medium.on_link_down(self._link_down)
+        #: Optional delivery hook (fault injection): called with
+        #: ``(pair, data)`` when a transfer would complete successfully.
+        #: Returning None drops the frame (the reliable transfer fails,
+        #: the sender's completion callback gets False); returning bytes
+        #: delivers them instead of the original payload.
+        self.frame_fault: Optional[Callable[[Tuple[str, str], bytes], Optional[bytes]]] = None
         self.stats = {
             "invitations_sent": 0,
             "invitations_accepted": 0,
@@ -240,11 +246,19 @@ class MpcFramework:
             if transfer.on_complete:
                 transfer.on_complete(False)
             return
+        data = transfer.data
+        if self.frame_fault is not None:
+            data = self.frame_fault(transfer.pair, data)
+            if data is None:
+                self.stats["transfers_failed"] += 1
+                if transfer.on_complete:
+                    transfer.on_complete(False)
+                return
         self.stats["transfers_completed"] += 1
-        self.stats["bytes_delivered"] += len(transfer.data)
+        self.stats["bytes_delivered"] += len(data)
         if transfer.on_complete:
             transfer.on_complete(True)
-        receiver._deliver(transfer.data, transfer.from_peer)
+        receiver._deliver(data, transfer.from_peer)
 
     def _find_session_for(self, owner: PeerID, connected_to: PeerID) -> Optional[Session]:
         for session in self._sessions[owner.device_id]:

@@ -382,6 +382,30 @@ class Medium:
             for callback in self._down_callbacks:
                 callback(a, b, radio)
 
+    # -- forced drops (fault injection) ---------------------------------------------
+    def force_drop(self, a: str, b: str) -> bool:
+        """Drop the active link between two devices, if any (a link flap:
+        the pair re-links on the next tick while still in range).  Fires
+        the normal link-down callbacks; returns True when a link dropped."""
+        key = pair_key(a, b)
+        if key not in self._linked:
+            return False
+        self._drop_link(key)
+        return True
+
+    def drop_links_of(self, device_id: str) -> int:
+        """Drop every active link touching ``device_id`` (device crash or
+        abrupt power loss), in sorted pair order for determinism.  Returns
+        the number of links dropped."""
+        keys = sorted(k for k in self._linked if device_id in k)
+        for key in keys:
+            self._drop_link(key)
+        return len(keys)
+
+    def active_link_keys(self) -> List[Tuple[str, str]]:
+        """Sorted snapshot of the active link pair keys."""
+        return sorted(self._linked)
+
     # -- queries --------------------------------------------------------------------
     def link_between(self, a: str, b: str) -> Optional[RadioProfile]:
         """The active radio between two devices, or None."""

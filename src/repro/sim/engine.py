@@ -31,7 +31,10 @@ class Event:
     contact) cannot grow the queue without bound over long runs.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "name", "_on_cancel")
+    __slots__ = (
+        "time", "priority", "seq", "callback", "args", "cancelled", "name",
+        "owner", "_on_cancel",
+    )
 
     def __init__(
         self,
@@ -41,6 +44,7 @@ class Event:
         callback: Callable[..., Any],
         args: tuple,
         name: str = "",
+        owner: Optional[Any] = None,
     ) -> None:
         self.time = time
         self.priority = priority
@@ -49,6 +53,7 @@ class Event:
         self.args = args
         self.cancelled = False
         self.name = name or getattr(callback, "__name__", "event")
+        self.owner = owner
         self._on_cancel: Optional[Callable[[], None]] = None
 
     def cancel(self) -> None:
@@ -113,17 +118,33 @@ class Simulator:
         *args: Any,
         priority: int = 0,
         name: str = "",
+        owner: Optional[Any] = None,
     ) -> Event:
-        """Schedule ``callback(*args)`` at absolute time ``time``."""
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        ``owner`` tags the event for bulk cancellation via
+        :meth:`cancel_owned` (used by the fault injector to quiesce every
+        process it scheduled in one call); it has no effect on ordering.
+        """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule event at {time:.6f}, now is {self._now:.6f}"
             )
-        event = Event(float(time), priority, self._seq, callback, args, name)
+        event = Event(float(time), priority, self._seq, callback, args, name, owner)
         event._on_cancel = self._note_cancelled
         self._seq += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def cancel_owned(self, owner: Any) -> int:
+        """Cancel every pending event tagged with ``owner`` (identity
+        comparison).  Returns the number of events cancelled."""
+        count = 0
+        for event in self._heap:
+            if not event.cancelled and event.owner is owner:
+                event.cancel()
+                count += 1
+        return count
 
     def _note_cancelled(self) -> None:
         self._cancelled_in_heap += 1
@@ -149,11 +170,14 @@ class Simulator:
         *args: Any,
         priority: int = 0,
         name: str = "",
+        owner: Optional[Any] = None,
     ) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        return self.schedule_at(self._now + delay, callback, *args, priority=priority, name=name)
+        return self.schedule_at(
+            self._now + delay, callback, *args, priority=priority, name=name, owner=owner
+        )
 
     def add_step_hook(self, hook: Callable[[float], None]) -> None:
         """Register ``hook(now)`` to run after every executed event.

@@ -48,7 +48,10 @@ class KeyValueStore:
         snapshot = dict(self._data)
         try:
             yield self
-        except Exception:
+        except BaseException:
+            # BaseException, not Exception: a KeyboardInterrupt landing
+            # mid-transaction (or GeneratorExit from an abandoned block)
+            # must also roll back, or the store keeps a half-applied write.
             self._data = snapshot
             raise
 

@@ -89,6 +89,7 @@ class World:
         mobility: Optional[MobilityModel] = None,
         config: Optional[SosConfig] = None,
         start: bool = True,
+        resilience=None,
     ) -> AlleyOopApp:
         index = len(self.apps)
         account = self.cloud.create_account(name, now=self.sim.now)
@@ -118,6 +119,7 @@ class World:
                 relay_request_grace=0.0,
                 session_crypto=self.session_crypto,
             ),
+            resilience=resilience,
         )
         self.apps[name] = app
         if start:
