@@ -5,7 +5,7 @@ Run from the repo root (the CI docs lane does)::
 
     PYTHONPATH=src python scripts/check_docs.py
 
-Two passes, both dependency-free:
+Three passes, all dependency-free:
 
 1. **doctests** — executes the runnable examples embedded in the
    documented module headers (``doctest.testmod`` on the imported
@@ -14,6 +14,10 @@ Two passes, both dependency-free:
 2. **links** — every relative markdown link / inline file reference in
    the user-facing docs must point at a path that exists, so the README
    cannot rot silently as the tree moves.
+3. **trace catalogue** — ``docs/TRACE_EVENTS.md`` must match what
+   ``scripts/gen_trace_docs.py`` would generate from the registry in
+   ``src/repro/analysis/trace_registry.py`` (``repro lint`` closes the
+   other half of the loop: registry vs. the emitting code).
 """
 
 from __future__ import annotations
@@ -33,7 +37,7 @@ DOCTEST_MODULES = (
 )
 
 #: User-facing documents whose links must resolve.
-LINKED_DOCS = ("README.md", "docs/ARCHITECTURE.md", "EXPERIMENTS.md")
+LINKED_DOCS = ("README.md", "docs/ARCHITECTURE.md", "EXPERIMENTS.md", "docs/TRACE_EVENTS.md")
 
 _MD_LINK = re.compile(r"\[[^\]]+\]\(([^)#\s]+)\)")
 _CODE_PATH = re.compile(r"`((?:src|docs|tests|benchmarks|examples|scripts)/[A-Za-z0-9_./-]+)`")
@@ -77,9 +81,27 @@ def check_links(root: Path) -> int:
     return failures
 
 
+def check_trace_catalogue(root: Path) -> int:
+    """docs/TRACE_EVENTS.md must match the registry it is generated from."""
+    from repro.analysis.trace_registry import render_markdown
+
+    target = root / "docs" / "TRACE_EVENTS.md"
+    expected = render_markdown() + "\n"
+    if not target.is_file():
+        print("trace catalogue docs/TRACE_EVENTS.md: FAILED (missing — run "
+              "scripts/gen_trace_docs.py)")
+        return 1
+    if target.read_text() != expected:
+        print("trace catalogue docs/TRACE_EVENTS.md: FAILED (stale — run "
+              "scripts/gen_trace_docs.py after editing the registry)")
+        return 1
+    print("trace catalogue docs/TRACE_EVENTS.md: ok (matches registry)")
+    return 0
+
+
 def main() -> int:
     root = Path(__file__).resolve().parent.parent
-    failures = run_doctests() + check_links(root)
+    failures = run_doctests() + check_links(root) + check_trace_catalogue(root)
     if failures:
         print(f"\n{failures} documentation check(s) failed")
         return 1

@@ -1,0 +1,49 @@
+"""Rule registry: the five determinism / hygiene rule families.
+
+``default_rules()`` returns fresh instances — rules may accumulate
+cross-file state between ``check`` and ``finalize``, so a rule list is
+single-use (one :func:`repro.analysis.core.lint_paths` call).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.determinism import (
+    HashSortKeyRule,
+    NondetEntropyRule,
+    NondetIterRule,
+    NondetWallclockRule,
+)
+from repro.analysis.rules.exceptions import ExceptSwallowRule
+from repro.analysis.rules.fork_safety import ForkSafetyRule
+from repro.analysis.rules.seeds import RngDisciplineRule
+from repro.analysis.rules.trace_events import TraceEventRule
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every shipped rule, in reporting order."""
+    return [
+        NondetEntropyRule(),
+        NondetWallclockRule(),
+        NondetIterRule(),
+        HashSortKeyRule(),
+        TraceEventRule(),
+        ForkSafetyRule(),
+        ExceptSwallowRule(),
+        RngDisciplineRule(),
+    ]
+
+
+__all__ = [
+    "ExceptSwallowRule",
+    "ForkSafetyRule",
+    "HashSortKeyRule",
+    "NondetEntropyRule",
+    "NondetIterRule",
+    "NondetWallclockRule",
+    "RngDisciplineRule",
+    "TraceEventRule",
+    "default_rules",
+]

@@ -1,0 +1,76 @@
+"""Rule family 4: exception hygiene in sim code.
+
+The bug class fixed by hand twice already (PRs 5 and 6): a broad
+``except`` around a sim-path operation that swallows the error, so a
+malformed payload or a failed store write disappears instead of
+surfacing in the trace.  Narrow handlers (``except ValueError``) are
+encouraged and never flagged; a *broad* handler — bare ``except:``,
+``except Exception``, ``except BaseException`` — must either re-raise
+or emit a trace diagnostic so the failure is accounted for.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    node = handler.type
+    if node is None:
+        return True  # bare except
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(
+            isinstance(element, ast.Name) and element.id in _BROAD
+            for element in node.elts
+        )
+    return False
+
+
+def _accounts_for_failure(handler: ast.ExceptHandler) -> bool:
+    """True when the handler re-raises or emits a trace diagnostic."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "emit"
+        ):
+            return True
+    return False
+
+
+class ExceptSwallowRule(Rule):
+    name = "except-swallow"
+    description = (
+        "broad except in sim code must re-raise or emit a trace diagnostic"
+    )
+    domains = frozenset({"sim"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _accounts_for_failure(node):
+                continue
+            what = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield module.finding(
+                self, node,
+                f"{what} neither re-raises nor emits a trace diagnostic: the "
+                "failure vanishes from the record (the PR 5/6 bug class) — "
+                "narrow the exception type, re-raise, or emit a diagnostic "
+                "event",
+            )

@@ -1,0 +1,141 @@
+"""Rule family 5: seeded-stream discipline.
+
+Being *free of ambient entropy* (family 1) is necessary but not
+sufficient: a ``random.Random()`` constructed without a seed pulls its
+state from the OS anyway, and a seed derived from the wall clock or
+``os.urandom`` launders entropy through a "seeded" constructor.  In
+sim code every RNG must descend from a named source: the simulator's
+``RandomStreams`` (``sim.streams.get(name)``), an
+``HmacDrbg.spawn(label)`` substream, or an explicit
+``random.Random(seed)`` whose seed is itself derived data.
+
+``rng-unseeded`` flags, in sim code:
+
+* ``random.Random()`` with no arguments (OS-seeded),
+* ``random.SystemRandom(...)`` (OS entropy regardless of arguments),
+* ``numpy.random.default_rng()`` with no arguments, and module-level
+  ``numpy.random.*`` draws (the shared legacy global state),
+* a seed argument that is itself a wall-clock or entropy call
+  (``random.Random(time.time())``),
+* ``SystemRandomSource(...)`` outside the DRBG boundary module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis import astutil
+from repro.analysis.core import Finding, ModuleContext, Rule
+
+_ENTROPY_SEED_FUNCS = frozenset({"time", "time_ns", "monotonic", "perf_counter"})
+
+
+def _seed_is_entropy(arg: ast.expr) -> bool:
+    """True when the seed expression contains a wall-clock/entropy call."""
+    for node in ast.walk(arg):
+        if not isinstance(node, ast.Call):
+            continue
+        chain = astutil.attribute_chain(node.func)
+        if chain is None:
+            continue
+        if chain[-1] == "urandom" or chain[0] == "secrets":
+            return True
+        if len(chain) >= 2 and chain[0] == "time" and chain[-1] in _ENTROPY_SEED_FUNCS:
+            return True
+    return False
+
+
+class RngDisciplineRule(Rule):
+    name = "rng-unseeded"
+    description = (
+        "RNGs in sim code must come from a named seeded source "
+        "(sim.streams.get, HmacDrbg.spawn, random.Random(seed))"
+    )
+    domains = frozenset({"sim"})
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        aliases = astutil.module_aliases(module.tree)
+        froms = astutil.from_imports(module.tree)
+        numpy_aliases = {
+            local for local, mod in aliases.items() if mod == "numpy"
+        }
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = astutil.attribute_chain(node.func)
+            # random.Random / random.SystemRandom via the module.
+            if chain is not None and len(chain) == 2 and aliases.get(chain[0]) == "random":
+                if chain[1] == "SystemRandom":
+                    yield module.finding(
+                        self, node,
+                        "random.SystemRandom draws OS entropy regardless of "
+                        "arguments; use a seeded stream",
+                    )
+                elif chain[1] == "Random":
+                    yield from self._check_random_ctor(module, node)
+            # from random import Random / SystemRandom.
+            elif isinstance(node.func, ast.Name):
+                origin = froms.get(node.func.id)
+                if origin == ("random", "SystemRandom"):
+                    yield module.finding(
+                        self, node,
+                        "random.SystemRandom draws OS entropy regardless of "
+                        "arguments; use a seeded stream",
+                    )
+                elif origin == ("random", "Random"):
+                    yield from self._check_random_ctor(module, node)
+                elif node.func.id == "SystemRandomSource" and not module.entropy_allowed:
+                    yield module.finding(
+                        self, node,
+                        "SystemRandomSource is the real-entropy boundary for "
+                        "deployments; sim code must stay reproducible from "
+                        "the master seed (inject HmacDrbg instead)",
+                    )
+            # numpy.random.*: default_rng() unseeded, or legacy global draws.
+            if (
+                chain is not None
+                and len(chain) >= 3
+                and chain[0] in numpy_aliases
+                and chain[1] == "random"
+            ):
+                if chain[2] == "default_rng":
+                    if not node.args and not node.keywords:
+                        yield module.finding(
+                            self, node,
+                            "numpy.random.default_rng() without a seed pulls "
+                            "OS entropy; pass seed material derived from the "
+                            "master seed",
+                        )
+                    elif any(_seed_is_entropy(arg) for arg in node.args):
+                        yield module.finding(
+                            self, node,
+                            "numpy default_rng seeded from wall clock/entropy "
+                            "is still nondeterministic; derive the seed from "
+                            "the master seed",
+                        )
+                elif chain[2] not in {"Generator", "SeedSequence", "Random"}:
+                    yield module.finding(
+                        self, node,
+                        f"numpy.random.{chain[2]}() draws from the shared "
+                        "legacy global state; construct a seeded Generator "
+                        "instead",
+                    )
+
+    def _check_random_ctor(
+        self, module: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        if not node.args and not node.keywords:
+            yield module.finding(
+                self, node,
+                "random.Random() without a seed pulls OS entropy; every sim "
+                "stream must be constructed from explicit seed material",
+            )
+            return
+        for arg in node.args:
+            if _seed_is_entropy(arg):
+                yield module.finding(
+                    self, node,
+                    "random.Random seeded from wall clock/entropy is still "
+                    "nondeterministic; derive the seed from the master seed",
+                )

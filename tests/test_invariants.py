@@ -4,8 +4,14 @@ Each example builds a random deployment (positions, follow graph, posting
 pattern), runs it, and checks invariants that must hold for *any*
 configuration — the properties that make the middleware trustworthy rather
 than merely calibrated.
+
+Also holds the repo-wide determinism guard: the default study, run twice
+in the same process with the same seed, must produce byte-identical
+traces. This is the runtime contract that ``repro lint`` enforces
+statically.
 """
 
+import hashlib
 import random
 
 import pytest
@@ -105,3 +111,20 @@ class TestEndToEndInvariants:
         world = build_random_world(ca, keypair_pool, seed, "interest")
         for app in world.apps.values():
             assert app.sos.adhoc.stats["security_failures"] == 0
+
+
+class TestDeterminism:
+    """Same seed, same process, same bytes — the trace contract."""
+
+    def test_default_study_trace_is_reproducible(self):
+        from repro.experiments.gainesville import GainesvilleStudy
+        from repro.experiments.scenario import ScenarioConfig
+        from tests.worldutil import trace_lines
+
+        digests = []
+        for _ in range(2):
+            study = GainesvilleStudy(ScenarioConfig())
+            study.run()
+            payload = "\n".join(trace_lines(study.sim)).encode()
+            digests.append(hashlib.sha256(payload).hexdigest())
+        assert digests[0] == digests[1]
