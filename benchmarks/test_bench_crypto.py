@@ -104,7 +104,7 @@ def _throughput_rows(packets: int, repeats: int) -> Tuple[float, List[Tuple]]:
     return speedup, rows
 
 
-def test_bench_secured_packet_throughput():
+def test_bench_secured_packet_throughput(bench_recorder):
     """The tentpole contract: >= 5x secured-packet rounds/second."""
     speedup, rows = _throughput_rows(packets=200, repeats=3)
     print()
@@ -117,6 +117,11 @@ def test_bench_secured_packet_throughput():
     )
     if speedup < 5.0:  # remeasure before judging a noisy sample
         speedup, _ = _throughput_rows(packets=400, repeats=4)
+    bench_recorder.record(
+        "crypto_packet_speedup",
+        {"speedup_x": speedup},
+        context={"payload_bytes": len(PAYLOAD)},
+    )
     assert speedup >= 5.0
 
 
@@ -147,7 +152,7 @@ def _run_study(config: ScenarioConfig) -> Tuple[GainesvilleStudy, float]:
     return study, time.process_time() - start
 
 
-def test_bench_crypto_default_study_equivalence_and_speedup():
+def test_bench_crypto_default_study_equivalence_and_speedup(bench_recorder):
     """The acceptance bar: the default 10-user field study replays
     byte-identically under both crypto modes, and the session mode is
     measurably faster end to end (build + 7 simulated days + analysis)."""
@@ -174,6 +179,14 @@ def test_bench_crypto_default_study_equivalence_and_speedup():
         for key, value in app.sos.security_stats.items():
             stats[key] = stats.get(key, 0) + value
     assert 0 < stats["session_keys_established"] < stats["packets_sent"] / 4
+    bench_recorder.record(
+        "crypto_default_study_speedup",
+        {
+            "speedup_x": legacy_s / session_s,
+            "session_cpu_s": session_s,
+            "legacy_cpu_s": legacy_s,
+        },
+    )
     # End-to-end speedup (conservative bound; measured ~1.6-1.8x).
     assert legacy_s / session_s >= 1.2
 

@@ -51,11 +51,22 @@ def _sweep(points, days: int, posts: int) -> List[Tuple]:
     return rows
 
 
-def test_bench_delivery_degrades_monotonically_with_loss():
+def test_bench_delivery_degrades_monotonically_with_loss(bench_recorder):
     """The EXPERIMENTS.md sweep: delivery falls with frame loss, every
     drop is accounted for in the trace, and the faultless point matches
     the oracle's faultless run (no injector in the loop at all)."""
     rows = _sweep((0.0, 0.05, 0.15, 0.30, 0.50), days=3, posts=80)
+    for p, disseminations, ratio, frames_dropped, retries in rows:
+        bench_recorder.record(
+            f"faults_degradation_drop{int(p * 100):02d}",
+            {
+                "disseminations": disseminations,
+                "delivery_ratio": ratio,
+                "frames_dropped": frames_dropped,
+                "sync_retries": retries,
+            },
+            context={"days": 3, "posts": 80, "frame_drop_prob": p},
+        )
     print()
     print(format_table(
         "delivery vs frame loss (3 days, 80 posts, mild base plan)",

@@ -100,7 +100,7 @@ def _trace_lines(sim: Simulator) -> List[str]:
     ]
 
 
-def test_bench_medium_scale_throughput():
+def test_bench_medium_scale_throughput(bench_recorder):
     ticks = 20
     rows = []
     speedup_at = {}
@@ -139,6 +139,10 @@ def test_bench_medium_scale_throughput():
             rows,
         )
     )
+    for n, speedup in sorted(speedup_at.items()):
+        bench_recorder.record(
+            f"medium_speedup_n{n}", {"speedup_x": speedup}, context={"ticks": ticks}
+        )
     # The acceptance bar: >= 3x at N=2000 (measured ~3.5-4x).
     assert speedup_at[2000] >= 3.0
 

@@ -76,7 +76,7 @@ def _timed_build(config: ScenarioConfig) -> Tuple[GainesvilleStudy, float]:
     return study, time.process_time() - start
 
 
-def test_bench_world_build_speedup(tmp_path):
+def test_bench_world_build_speedup(tmp_path, bench_recorder):
     """The tentpole contract: ≥ 10x faster secured world build at N=500
     under pooled (warm cache) and lazy provisioning."""
     cache = str(tmp_path / "keys")
@@ -114,6 +114,16 @@ def test_bench_world_build_speedup(tmp_path):
                 ("lazy", f"{lazy_s:.2f}", f"{eager_s / lazy_s:.1f}x"),
             ],
         )
+    )
+    bench_recorder.record(
+        "provisioning_build_speedup",
+        {
+            "pooled_speedup_x": eager_s / pooled_s,
+            "lazy_speedup_x": eager_s / lazy_s,
+            "eager_cpu_s": eager_s,
+            "pool_warmup_wall_s": warm_s,
+        },
+        context={"num_users": SCALE_N, "key_bits": BUILD_BITS},
     )
     assert eager_s / pooled_s >= 10.0
     assert eager_s / lazy_s >= 10.0

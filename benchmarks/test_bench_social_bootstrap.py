@@ -68,7 +68,7 @@ def _build(num_users: int, bulk: bool, social_graph: str) -> _TimedWiring:
     return study
 
 
-def test_bench_wiring_speedup_at_scale():
+def test_bench_wiring_speedup_at_scale(bench_recorder):
     """The tentpole contract: ≥ 10x faster day-0 wiring at N=2000 on the
     dense generator, with one cloud round per *user* instead of per
     *edge*; the sparse families are reported alongside."""
@@ -86,6 +86,11 @@ def test_bench_wiring_speedup_at_scale():
         speedup = edge.wiring_seconds / bulk.wiring_seconds
         if kind == "hub_and_cluster":
             dense_speedup = speedup
+        bench_recorder.record(
+            f"bootstrap_wiring_speedup_{kind}",
+            {"speedup_x": speedup, "edges": edges},
+            context={"num_users": SCALE_N},
+        )
         rows.append(
             (
                 kind,

@@ -1,0 +1,22 @@
+#!/usr/bin/env python3
+"""Standalone entry point for the benchmark trajectory report.
+
+Equivalent to ``python -m repro bench report``; exists (like
+``scripts/graph_stats.py``) so the report can run without installing
+the package::
+
+    PYTHONPATH=src python scripts/bench_report.py [--dir .] [--format md|json]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.cli import main  # noqa: E402
+
+
+if __name__ == "__main__":
+    sys.exit(main(["bench", "report", *sys.argv[1:]]))

@@ -54,10 +54,16 @@ _SUPPRESSION = re.compile(
     r"(?:\s*--\s*(?P<reason>.*\S))?"
 )
 
-#: Paths classified as tooling inside the default repo layout.
+#: Paths classified as tooling inside the default repo layout.  The
+#: bench package measures the simulation from outside (wall-clock
+#: sampling, host fingerprints, git calls are its whole job); nothing
+#: in it feeds a trace, so it plays by tool rules like the analysis
+#: package itself.
 DEFAULT_TOOL_GLOBS = (
     "src/repro/analysis/*",
     "src/repro/analysis/**/*",
+    "src/repro/bench/*",
+    "src/repro/bench/**/*",
     "scripts/*",
     "tests/*",
     "tests/**/*",

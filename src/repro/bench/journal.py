@@ -1,0 +1,109 @@
+"""The resumable on-disk run journal.
+
+A suite execution appends one JSON line per completed point to
+``<journal_dir>/journal.jsonl`` (write → flush → fsync, so a killed
+process loses at most the point it was inside).  Rerunning the same
+suite loads the journal first and *skips* every point whose
+``(name, repetition)`` key is present **and** whose recorded config
+matches the suite's current definition — editing a run's config
+invalidates its stale journal entries instead of resurrecting results
+for a world that no longer exists.
+
+The journal is scratch state (one directory per suite, safe to delete);
+the artifact is the durable product assembled from it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+JOURNAL_NAME = "journal.jsonl"
+
+
+class Journal:
+    """Append-only completion log for one suite's points."""
+
+    def __init__(self, directory: Path, suite: str) -> None:
+        self.directory = Path(directory)
+        self.suite = suite
+        self.path = self.directory / JOURNAL_NAME
+        self._entries: Dict[Tuple[str, int], Dict[str, Any]] = {}
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        for line in self.path.read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                # A torn final line from a killed writer: ignore it; the
+                # point reruns.
+                continue
+            if not isinstance(entry, dict) or entry.get("suite") != self.suite:
+                continue
+            name, rep = entry.get("name"), entry.get("repetition")
+            if isinstance(name, str) and isinstance(rep, int):
+                self._entries[(name, rep)] = entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def completed(self, name: str, repetition: int, config: Dict[str, Any]) -> Optional[Dict[str, Any]]:
+        """The recorded entry for this point, or None if it must run.
+
+        A key match with a *different* config is treated as not
+        completed (the suite definition changed under the journal).
+        """
+        entry = self._entries.get((name, repetition))
+        if entry is None or entry.get("config") != config:
+            return None
+        return entry
+
+    def record(
+        self,
+        name: str,
+        repetition: int,
+        config: Dict[str, Any],
+        metrics: Dict[str, float],
+        trace_sha256: Optional[str],
+    ) -> Dict[str, Any]:
+        """Durably append one completed point and return its entry."""
+        entry = {
+            "suite": self.suite,
+            "name": name,
+            "repetition": repetition,
+            "config": dict(config),
+            "metrics": dict(metrics),
+            "trace_sha256": trace_sha256,
+        }
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._entries[(name, repetition)] = entry
+        return entry
+
+    def entries(self) -> Iterator[Dict[str, Any]]:
+        """All recorded entries, in key order."""
+        for key in sorted(self._entries):
+            yield self._entries[key]
+
+    def clear(self) -> None:
+        """Forget everything (``bench run --fresh``)."""
+        self._entries.clear()
+        if self.path.exists():
+            self.path.unlink()
+
+
+def stale_keys(journal: Journal, expected: List[Tuple[str, int]]) -> List[Tuple[str, int]]:
+    """Journal keys the current suite definition no longer names."""
+    wanted = set(expected)
+    return sorted(key for key in journal._entries if key not in wanted)

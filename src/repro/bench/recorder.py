@@ -1,0 +1,70 @@
+"""Recording measurements from the pytest benchmarks.
+
+The ``benchmarks/test_bench_*.py`` contracts measure speedup ratios and
+throughputs that used to live only in printed tables and assert
+messages.  A :class:`BenchRecorder` collects them as artifact run
+entries — one entry per named measurement, metrics carrying whatever
+the bench measured — so a benchmark session can emit the same
+``BENCH_*.json`` format the suite runner produces and the numbers land
+in the trajectory report next to the orchestrated runs.
+
+The ``bench_recorder`` session fixture in ``benchmarks/conftest.py``
+hands one recorder to every bench and writes the artifact at session
+end when ``$REPRO_BENCH_OUT`` names a destination path (unset: the
+measurements are collected but nothing is written, so plain local
+pytest runs leave no stray files).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.bench import schema
+
+
+class BenchRecorder:
+    """Accumulates measurement entries; writes one artifact."""
+
+    def __init__(self, suite: str = "pytest") -> None:
+        self.suite = suite
+        self._entries: Dict[tuple, Dict[str, Any]] = {}
+
+    def record(
+        self,
+        name: str,
+        metrics: Dict[str, float],
+        context: Optional[Dict[str, Any]] = None,
+        trace_sha256: Optional[str] = None,
+        repetition: int = 0,
+    ) -> None:
+        """Add one measurement (re-recording a key overwrites it — the
+        benches' remeasure-on-noise paths report their final number)."""
+        clean = {
+            key: float(value)
+            for key, value in metrics.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+        if not clean:
+            raise ValueError(f"measurement {name!r} carries no numeric metrics")
+        self._entries[(name, repetition)] = schema.make_run_entry(
+            name, repetition, context or {}, clean, trace_sha256
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def artifact(self) -> Dict[str, Any]:
+        """The artifact dict for everything recorded so far."""
+        from repro.bench.sampler import detect_backend
+
+        runs = [self._entries[key] for key in sorted(self._entries)]
+        return schema.new_artifact(self.suite, runs=runs, sampler=detect_backend())
+
+    def write(self, path: Path) -> Optional[Path]:
+        """Write the artifact; no-op (returns None) when empty."""
+        if not self._entries:
+            return None
+        destination = Path(path)
+        schema.dump_artifact(self.artifact(), destination)
+        return destination

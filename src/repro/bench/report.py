@@ -1,0 +1,124 @@
+"""The cross-PR trajectory report.
+
+Consolidates every ``BENCH_*.json`` in a directory into one trend
+table: suite → run → repetition with timings, memory, the domain
+counters and the trace digest.  Output is markdown (for humans and PR
+descriptions) or JSON (for tooling); both orderings are fully
+deterministic — artifacts sort by ``(suite, filename)``, runs by
+``(name, repetition)`` — so the report itself can be golden-tested.
+
+Requested-but-absent suites (``--suites a,b``) are reported as missing
+rather than silently dropped, and files matching the glob that fail
+schema validation land in a trailing "skipped" section: a trajectory
+that quietly loses a point is worse than no trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.bench.schema import BenchSchemaError, load_artifact
+
+#: Metric columns the table always shows, in order (absent → "-").
+TABLE_METRICS = ("wall_s", "cpu_s", "max_rss_kb", "disseminations", "delivery_ratio")
+
+
+def consolidate(
+    directory: Path,
+    pattern: str = "BENCH_*.json",
+    suites: Optional[Sequence[str]] = None,
+) -> Dict[str, Any]:
+    """Load every artifact under ``directory`` matching ``pattern``.
+
+    Returns ``{"artifacts": [...], "missing_suites": [...],
+    "skipped": [...]}`` with deterministic ordering throughout.
+    """
+    directory = Path(directory)
+    artifacts: List[Dict[str, Any]] = []
+    skipped: List[Dict[str, str]] = []
+    for path in sorted(directory.glob(pattern)):
+        try:
+            data = load_artifact(path)
+        except BenchSchemaError as exc:
+            skipped.append({"path": path.name, "error": str(exc)})
+            continue
+        artifacts.append(
+            {
+                "path": path.name,
+                "suite": data["suite"],
+                "git_rev": data.get("git_rev"),
+                "created_utc": data.get("created_utc"),
+                "host_fingerprint": data["host"].get("fingerprint"),
+                "sampler": data["host"].get("sampler"),
+                "runs": sorted(
+                    data["runs"], key=lambda run: (run["name"], run["repetition"])
+                ),
+            }
+        )
+    artifacts.sort(key=lambda item: (item["suite"], item["path"]))
+    present = {item["suite"] for item in artifacts}
+    if suites is not None:
+        wanted = list(suites)
+        artifacts = [item for item in artifacts if item["suite"] in set(wanted)]
+        missing = [name for name in wanted if name not in present]
+    else:
+        missing = []
+    return {"artifacts": artifacts, "missing_suites": missing, "skipped": skipped}
+
+
+def _metric_cell(metrics: Dict[str, float], key: str) -> str:
+    value = metrics.get(key)
+    if value is None:
+        return "-"
+    if key in ("wall_s", "cpu_s"):
+        return f"{value:.3f}"
+    if key == "delivery_ratio":
+        return f"{value:.3f}"
+    return f"{value:.0f}"
+
+
+def render_markdown(consolidated: Dict[str, Any]) -> str:
+    """The markdown trend report."""
+    lines: List[str] = ["# Benchmark trajectory", ""]
+    artifacts = consolidated["artifacts"]
+    if not artifacts:
+        lines.append("No benchmark artifacts found.")
+        lines.append("")
+    for item in artifacts:
+        rev = (item["git_rev"] or "unknown")[:12]
+        lines.append(f"## suite `{item['suite']}` — `{item['path']}`")
+        lines.append("")
+        lines.append(
+            f"git `{rev}` · host `{item['host_fingerprint']}` · "
+            f"sampler `{item['sampler']}` · created {item['created_utc'] or '-'}"
+        )
+        lines.append("")
+        header = ["run", "rep"] + list(TABLE_METRICS) + ["trace"]
+        lines.append("| " + " | ".join(header) + " |")
+        lines.append("|" + "---|" * len(header))
+        for run in item["runs"]:
+            sha = run.get("trace_sha256")
+            cells = [run["name"], str(run["repetition"])]
+            cells += [_metric_cell(run["metrics"], key) for key in TABLE_METRICS]
+            cells.append(sha[:12] if sha else "-")
+            lines.append("| " + " | ".join(cells) + " |")
+        lines.append("")
+    for suite in consolidated["missing_suites"]:
+        lines.append(f"## suite `{suite}` — missing")
+        lines.append("")
+        lines.append("No `BENCH_*.json` artifact found for this suite.")
+        lines.append("")
+    if consolidated["skipped"]:
+        lines.append("## skipped files")
+        lines.append("")
+        for entry in consolidated["skipped"]:
+            lines.append(f"* `{entry['path']}`: {entry['error']}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_json(consolidated: Dict[str, Any]) -> str:
+    """The JSON trend report (sorted keys, trailing newline)."""
+    return json.dumps(consolidated, indent=2, sort_keys=True) + "\n"

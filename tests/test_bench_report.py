@@ -1,0 +1,100 @@
+"""Golden-file test for the cross-PR trajectory report.
+
+The fixtures under ``tests/data/bench/`` are three hand-written
+artifacts (two PRs of suite ``alpha``, one of suite ``beta`` with
+deliberately shuffled run order) plus one schema-invalid file; the
+golden markdown pins ordering, formatting and the skipped-file section
+byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.report import consolidate, render_json, render_markdown
+from repro.cli import main
+
+FIXTURES = Path(__file__).parent / "data" / "bench"
+GOLDEN = FIXTURES / "report_golden.md"
+
+
+class TestGolden:
+    def test_markdown_matches_golden_byte_for_byte(self):
+        rendered = render_markdown(consolidate(FIXTURES))
+        assert rendered == GOLDEN.read_text(encoding="utf-8")
+
+    def test_ordering_is_stable(self):
+        first = consolidate(FIXTURES)
+        second = consolidate(FIXTURES)
+        assert first == second
+        # Artifacts sort by (suite, filename)...
+        assert [item["path"] for item in first["artifacts"]] == [
+            "BENCH_alpha_pr1.json",
+            "BENCH_alpha_pr2.json",
+            "BENCH_beta.json",
+        ]
+        # ...and runs by (name, repetition) even though BENCH_beta.json
+        # lists them shuffled on disk.
+        beta = first["artifacts"][2]
+        assert [(run["name"], run["repetition"]) for run in beta["runs"]] == [
+            ("a_ratio", 0),
+            ("z_sparse", 0),
+            ("z_sparse", 1),
+        ]
+
+    def test_invalid_file_lands_in_skipped_not_silently_dropped(self):
+        skipped = consolidate(FIXTURES)["skipped"]
+        assert [entry["path"] for entry in skipped] == ["BENCH_broken.json"]
+        assert "unsupported schema" in skipped[0]["error"]
+
+
+class TestSuiteSelection:
+    def test_missing_suite_is_reported(self):
+        consolidated = consolidate(FIXTURES, suites=["beta", "gamma"])
+        assert consolidated["missing_suites"] == ["gamma"]
+        assert [item["suite"] for item in consolidated["artifacts"]] == ["beta"]
+        rendered = render_markdown(consolidated)
+        assert "## suite `gamma` — missing" in rendered
+        assert "alpha" not in rendered
+
+    def test_no_filter_reports_nothing_missing(self):
+        assert consolidate(FIXTURES)["missing_suites"] == []
+
+    def test_empty_directory_renders_placeholder(self, tmp_path):
+        rendered = render_markdown(consolidate(tmp_path))
+        assert "No benchmark artifacts found." in rendered
+
+
+class TestJsonRendering:
+    def test_json_round_trips_and_is_terminated(self):
+        rendered = render_json(consolidate(FIXTURES))
+        assert rendered.endswith("\n")
+        parsed = json.loads(rendered)
+        assert {item["suite"] for item in parsed["artifacts"]} == {"alpha", "beta"}
+
+
+class TestReportCli:
+    def test_cli_markdown_matches_golden(self, capsys):
+        assert main(["bench", "report", "--dir", str(FIXTURES)]) == 0
+        assert capsys.readouterr().out == GOLDEN.read_text(encoding="utf-8")
+
+    def test_cli_suites_flag_and_out_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            [
+                "bench", "report",
+                "--dir", str(FIXTURES),
+                "--suites", "beta,gamma",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        text = out.read_text(encoding="utf-8")
+        assert "## suite `gamma` — missing" in text
+        assert capsys.readouterr().out == ""  # report went to the file
+
+    def test_cli_json_format(self, capsys):
+        assert main(["bench", "report", "--dir", str(FIXTURES), "--format", "json"]) == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["missing_suites"] == []
