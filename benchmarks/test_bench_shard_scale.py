@@ -1,0 +1,231 @@
+"""Sharded contact engine — equivalence and tick-throughput contracts.
+
+The sharded engine's whole claim is "free parallelism": for any shard
+count the trace stream is byte-identical to the batched engine's, while
+the parent's serialised tick section (the part that governs multi-core
+scaling) shrinks because mobility integration and the pair sweep run in
+the worker processes.  This bench enforces both halves:
+
+* **equivalence** — live: the default 10-user field-study
+  reconstruction replays byte-identically at shards in {1, 2, 4}; and
+  from the committed artifacts: every ``shard_equiv_n500_*`` point of
+  ``BENCH_shard_scale.json`` (a secured 500-user world at shards
+  0/1/2/4) carries one and the same trace sha256, as do the N=10k
+  throughput points, as do ``smoke_default`` vs ``smoke_sharded`` in
+  ``BENCH_default.json``.
+* **throughput** — the committed ``BENCH_shard_scale.json`` must show
+  >= 1.5x ``device_ticks_per_cpu_s`` for 4 shards over batched at
+  N=10k (measured ~2.4x).  The artifact bar is deliberately the
+  committed one: on a 1-core CI host a live 10k-device point costs
+  minutes and a live small-N ratio is dominated by the shared link-diff
+  cost, so the live test below records the small-N ratio for trending
+  and asserts only the direction.
+
+Run just this bench (tiny smoke sizes included) with::
+
+    PYTHONPATH=src python -m pytest benchmarks -k shard_scale -q
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.bench.schema import BenchSchemaError, load_artifact
+from repro.bench.traceid import trace_sha256
+from repro.experiments import GainesvilleStudy, ScenarioConfig
+from repro.geo.region import Region
+from repro.metrics.report import format_table
+from repro.mobility.base import StationaryModel
+from repro.mobility.random_waypoint import RandomWaypoint
+from repro.net.device import Device
+from repro.net.medium import Medium
+from repro.net.radio import BLUETOOTH, DEFAULT_RADIO_SET
+from repro.sim.engine import Simulator
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+TICK_S = 300.0
+#: Square metres per device — matches the suite's N=10k points
+#: (10 km x 10 km for 10k devices), so the small live world below sits
+#: in the same density regime as the committed throughput artifact.
+AREA_PER_DEVICE_M2 = 10_000.0
+
+
+def _load_committed(name: str):
+    path = REPO_ROOT / name
+    if not path.exists():
+        pytest.skip(f"committed artifact {name} not present in this checkout")
+    try:
+        return load_artifact(path)
+    except BenchSchemaError as exc:
+        pytest.fail(f"committed artifact {name} is invalid: {exc}")
+
+
+def _runs_by_name(artifact) -> Dict[str, dict]:
+    return {run["name"]: run for run in artifact["runs"]}
+
+
+def _build_world(n: int, shards: int, seed: int = 9) -> Tuple[Simulator, Medium]:
+    """A sparse mixed world: 10% stationary, walking-speed pedestrians,
+    two radio sets, at the suite's N=10k density."""
+    sim = Simulator(seed=seed)
+    medium = Medium(sim, tick_interval=TICK_S, shards=shards)
+    side = (n * AREA_PER_DEVICE_M2) ** 0.5
+    region = Region(0.0, 0.0, side, side)
+    for i in range(n):
+        rng = random.Random(seed * 100_003 + i)
+        if i % 10 == 0:
+            mobility = StationaryModel(region.random_point(rng))
+        else:
+            mobility = RandomWaypoint(
+                region, rng, speed_range=(0.5, 1.8), pause_range=(0.0, 600.0)
+            )
+        radios = (DEFAULT_RADIO_SET, (BLUETOOTH,))[i % 2]
+        medium.add_device(Device(f"dev-{i:04d}", mobility, radios=radios))
+    return sim, medium
+
+
+def _run_world(n: int, shards: int, ticks: int, seed: int = 9):
+    sim, medium = _build_world(n, shards, seed=seed)
+    medium.start()
+    sim.run(until=ticks * TICK_S)
+    medium.stop()
+    return sim, medium
+
+
+def _best_tick_cpu(n: int, shards: int, ticks: int, repeats: int) -> float:
+    """Best-of-``repeats`` parent-process CPU inside Medium.tick, GC
+    paused — the serialised-section cost the shard design shrinks."""
+    gc.collect()
+    enabled = gc.isenabled()
+    gc.disable()
+    try:
+        return min(
+            _run_world(n, shards, ticks)[1].tick_cpu_s for _ in range(repeats)
+        )
+    finally:
+        if enabled:
+            gc.enable()
+
+
+def _trace_lines(sim: Simulator) -> List[str]:
+    """Canonical byte representation of the full trace stream."""
+    return [
+        f"{event.time!r}|{event.category}|{event.kind}|{sorted(event.data.items())!r}"
+        for event in sim.trace
+    ]
+
+
+def test_bench_shard_scale_artifact_contracts():
+    """The committed shard_scale artifact must carry the equivalence and
+    throughput guarantees the suite exists to record."""
+    artifact = _load_committed("BENCH_shard_scale.json")
+    runs = _runs_by_name(artifact)
+
+    equiv_names = [f"shard_equiv_n500_{v}" for v in ("batched", "shards1", "shards2", "shards4")]
+    equiv_shas = {name: runs[name]["trace_sha256"] for name in equiv_names}
+    assert len(set(equiv_shas.values())) == 1, (
+        "secured N=500 world diverged across shard counts: " f"{equiv_shas}"
+    )
+
+    scale_names = [f"shard_n10k_{v}" for v in ("batched", "shards2", "shards4")]
+    scale_shas = {name: runs[name]["trace_sha256"] for name in scale_names}
+    assert len(set(scale_shas.values())) == 1, (
+        "sparse N=10k world diverged across shard counts: " f"{scale_shas}"
+    )
+
+    batched = runs["shard_n10k_batched"]["metrics"]["device_ticks_per_cpu_s"]
+    sharded = runs["shard_n10k_shards4"]["metrics"]["device_ticks_per_cpu_s"]
+    ratio = sharded / batched
+    print(
+        f"\ncommitted N=10k tick throughput: batched={batched:,.0f} "
+        f"4-shard={sharded:,.0f} dev-ticks/cpu-s ({ratio:.2f}x)"
+    )
+    # The acceptance bar: the committed artifact shows >= 1.5x parent-CPU
+    # tick throughput for 4 shards over batched at N=10k.
+    assert ratio >= 1.5
+
+
+def test_bench_shard_smoke_point_in_default_baseline():
+    """The gate baseline's smoke_sharded point is smoke_default on the
+    sharded engine — same scenario, same seed — so their trace digests
+    must be equal inside the committed BENCH_default.json."""
+    artifact = _load_committed("BENCH_default.json")
+    runs = _runs_by_name(artifact)
+    assert "smoke_sharded" in runs, "baseline predates the sharded smoke point"
+    assert runs["smoke_sharded"]["trace_sha256"] == runs["smoke_default"]["trace_sha256"]
+    assert runs["smoke_sharded"]["config"]["medium_shards"] == 2
+
+
+def test_bench_shard_default_study_trace_identical(study):
+    """The default 10-user field study replays byte-identically on the
+    sharded engine at shards in {1, 2, 4} (live, forked pools)."""
+    assert study.config.medium_shards == 0  # session fixture is batched
+    expected = trace_sha256(study.sim)
+    for shards in (1, 2, 4):
+        replay = GainesvilleStudy(ScenarioConfig(medium_shards=shards))
+        replay.run()
+        assert replay.medium.engine.forked, "pool did not fork on this host"
+        assert trace_sha256(replay.sim) == expected, (
+            f"sharded study trace diverged from batched at shards={shards}"
+        )
+
+
+def test_bench_shard_throughput_live(bench_recorder):
+    """Record the live small-N parent-CPU ratio (the big-N assertion
+    lives on the committed artifact — see the module docstring) and
+    assert the direction: sharding must not cost parent CPU."""
+    n, ticks = 2000, 30
+    _run_world(256, 0, 3)  # warm both code paths (incl. numpy sweep)
+    _run_world(256, 4, 3)
+    batched_s = _best_tick_cpu(n, 0, ticks, repeats=3)
+    sharded_s = _best_tick_cpu(n, 4, ticks, repeats=3)
+    ratio = batched_s / sharded_s
+    if ratio <= 1.0:
+        # One noisy sample set must not fail the suite: remeasure with
+        # more repeats before judging.
+        batched_s = _best_tick_cpu(n, 0, ticks, repeats=6)
+        sharded_s = _best_tick_cpu(n, 4, ticks, repeats=6)
+        ratio = batched_s / sharded_s
+    device_ticks = n * (ticks + 1)  # start() performs the t=0 tick
+    print()
+    print(
+        format_table(
+            "Medium parent-CPU tick throughput (device-ticks/cpu-second)",
+            ("devices", "batched", "4 shards", "ratio"),
+            [
+                (
+                    n,
+                    f"{device_ticks / batched_s:,.0f}",
+                    f"{device_ticks / sharded_s:,.0f}",
+                    f"{ratio:.2f}x",
+                )
+            ],
+        )
+    )
+    bench_recorder.record(
+        f"shard_parent_cpu_ratio_n{n}",
+        {"ratio_x": ratio},
+        context={"ticks": ticks, "shards": 4},
+    )
+    assert ratio > 1.0
+
+
+@pytest.mark.bench_smoke
+def test_bench_shard_scale_smoke():
+    """Tiny-N rot guard: sharded-vs-batched byte equivalence with a real
+    forked 2-worker pool, cheap enough for any CI lane
+    (``pytest benchmarks -k shard_scale -m bench_smoke -q``)."""
+    sim_batched, medium_batched = _run_world(48, 0, ticks=6)
+    sim_sharded, medium_sharded = _run_world(48, 2, ticks=6)
+    assert medium_sharded.tick_count == 7
+    assert _trace_lines(sim_batched) == _trace_lines(sim_sharded)
+    assert (
+        medium_batched.contacts.total_contacts()
+        == medium_sharded.contacts.total_contacts()
+    )

@@ -1,24 +1,38 @@
-"""Rule family 3: fork safety of ``parallel_map`` workers.
+"""Rule family 3: fork safety of cross-process worker functions.
 
-``repro.sim.parallel.parallel_map`` promises bit-identical results
-between its forked and in-process fallbacks, which only holds when the
-worker is a pure function of its item.  With cross-process medium
-sharding next on the roadmap, workers that close over live simulation
-state are the bug class that gets strictly harder to debug after the
-fact — a forked child mutates a *copy* of the lock/file/Simulator and
-the divergence surfaces as a trace mismatch long after the fork.
+``repro.sim.parallel`` promises bit-identical results between its
+forked and in-process fallbacks, which only holds when workers are pure
+functions of their inputs.  With the medium sharded across processes,
+workers that close over live simulation state are the bug class that
+gets strictly harder to debug after the fact — a forked child mutates a
+*copy* of the lock/file/Simulator/Medium and the divergence surfaces as
+a trace mismatch long after the fork.
+
+Three call shapes are checked — the one-shot map, the persistent shard
+pool's init function, and per-tick task dispatch:
+
+* ``parallel_map(worker, items, n)``
+* ``WorkerPool(init_fn, payloads)``
+* ``pool.dispatch(worker, tasks)`` (in modules that import the
+  ``repro.sim.parallel`` API — other ``dispatch`` methods are not ours
+  to police)
 
 ``fork-unsafe`` flags a worker argument that is:
 
 * a lambda or locally nested function (closes over frame state, and is
   unpicklable under non-fork start methods anyway),
-* a bound-method / attribute reference (drags its whole instance
-  through the fork),
+* a bound-method / attribute reference (drags its whole instance —
+  a Simulator, a Medium — through the fork),
 * a module-level function that declares ``global`` (mutates parent
   state the children cannot see), or
 * a module-level function referencing module globals bound to live
   resources — ``open(...)``, ``threading.Lock()``,
-  ``multiprocessing.Lock()``, or a ``Simulator(...)``.
+  ``multiprocessing.Lock()``, a ``Simulator(...)`` or a ``Medium(...)``.
+
+A worker imported from another module passes here and is checked where
+it is defined (the sharded engine imports its shard-task functions by
+name from ``repro.net.medium_engines.shard_worker`` for exactly this
+reason).
 """
 
 from __future__ import annotations
@@ -32,15 +46,16 @@ from repro.analysis.core import Finding, ModuleContext, Rule
 #: Module-level bindings considered live resources when referenced by a
 #: worker function: ``NAME = <constructor>(...)``.
 _LIVE_RESOURCE_CONSTRUCTORS = frozenset(
-    {"open", "Lock", "RLock", "Semaphore", "Condition", "Event", "Simulator"}
+    {"open", "Lock", "RLock", "Semaphore", "Condition", "Event", "Simulator", "Medium"}
 )
 
 
 class ForkSafetyRule(Rule):
     name = "fork-unsafe"
     description = (
-        "parallel_map workers must be module-level pure functions, not "
-        "closures over locks, files, Simulators, or module globals"
+        "parallel_map / WorkerPool / dispatch workers must be module-level "
+        "pure functions, not closures over locks, files, Simulators, "
+        "Mediums, or module globals"
     )
     domains = frozenset({"sim"})
 
@@ -51,6 +66,14 @@ class ForkSafetyRule(Rule):
             for local, (origin, name) in froms.items()
             if name == "parallel_map" and origin.endswith("parallel")
         }
+        pool_names = {
+            local
+            for local, (origin, name) in froms.items()
+            if name == "WorkerPool" and origin.endswith("parallel")
+        }
+        # dispatch() is a generic method name; only police it in modules
+        # that actually use the repro.sim.parallel API.
+        check_dispatch = bool(map_names or pool_names)
         functions = astutil.collect_functions(module.tree)
         nested = {
             info.node.name for info in functions.values() if info.parent is not None
@@ -65,13 +88,17 @@ class ForkSafetyRule(Rule):
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
-            is_map_call = (
-                isinstance(node.func, ast.Name) and node.func.id in map_names
+            is_worker_call = (
+                isinstance(node.func, ast.Name)
+                and node.func.id in (map_names | pool_names)
             ) or (
                 isinstance(node.func, ast.Attribute)
-                and node.func.attr == "parallel_map"
+                and (
+                    node.func.attr in ("parallel_map", "WorkerPool")
+                    or (check_dispatch and node.func.attr == "dispatch")
+                )
             )
-            if not is_map_call or not node.args:
+            if not is_worker_call or not node.args:
                 continue
             worker = node.args[0]
             yield from self._check_worker(

@@ -83,6 +83,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         "whose per-user degree stays constant as N grows",
     )
     parser.add_argument(
+        "--medium-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run contact detection on the sharded cross-process engine "
+        "with N worker processes (spatial bands + halo exchange; same "
+        "traces as the single-process engines); default: single-process",
+    )
+    parser.add_argument(
+        "--medium-halo",
+        type=float,
+        default=None,
+        metavar="M",
+        help="minimum sharded-engine ghost-zone width in metres (default: "
+        "the sweep radius; values below it have no effect)",
+    )
+    parser.add_argument(
         "--per-edge-bootstrap",
         action="store_true",
         help="wire day-0 follows one cloud round per edge (the reference "
@@ -127,6 +144,10 @@ def _config_from(args: argparse.Namespace) -> ScenarioConfig:
         kwargs["provisioning_workers"] = args.workers
     if args.social_graph is not None:
         kwargs["social_graph"] = args.social_graph
+    if args.medium_shards is not None:
+        kwargs["medium_shards"] = args.medium_shards
+    if args.medium_halo is not None:
+        kwargs["medium_halo_m"] = args.medium_halo
     if args.per_edge_bootstrap:
         kwargs["bulk_bootstrap"] = False
     if args.faults is not None:
@@ -185,6 +206,7 @@ def cmd_density(args: argparse.Namespace) -> int:
         base_config=config,
         populations=populations,
         medium_batched=not args.per_device_medium,
+        medium_shards=config.medium_shards,
         workers=args.workers,
     )
     sweep.run()

@@ -146,7 +146,11 @@ class GainesvilleStudy:
         fault_plan = cfg.fault_plan()
         self.sim = Simulator(seed=cfg.seed)
         self.medium = Medium(
-            self.sim, tick_interval=cfg.medium_tick_s, batched=cfg.medium_batched
+            self.sim,
+            tick_interval=cfg.medium_tick_s,
+            batched=cfg.medium_batched,
+            shards=cfg.medium_shards,
+            halo_m=cfg.medium_halo_m,
         )
         self.framework = MpcFramework(self.sim, self.medium)
         self.cloud = CloudService(
@@ -516,6 +520,11 @@ class GainesvilleStudy:
         )
 
     def _social_stats(self) -> Dict[str, float]:
+        # All-pairs BFS over the follow graph — O(N·E) post-run analysis
+        # that dominates wall-clock at large N.  Nothing downstream of the
+        # trace depends on it, so the config can turn it off wholesale.
+        if not self.config.social_graph_stats:
+            return {}
         graph = self.social_graph
         return {
             "density_directed": social_metrics.density_directed(graph),

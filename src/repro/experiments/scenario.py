@@ -44,6 +44,16 @@ class ScenarioConfig:
     #: traces for a fixed seed; the flag exists for benchmarking and
     #: equivalence checks (see "Scaling the medium" in repro.net.medium).
     medium_batched: bool = True
+    #: ``>= 1`` runs contact detection on the sharded cross-process
+    #: engine with that many worker processes (spatial bands + halo
+    #: exchange; see repro.net.medium_engines.sharded).  ``0`` keeps the
+    #: single-process engines.  Traces are byte-identical across engines
+    #: and shard counts for a fixed seed.
+    medium_shards: int = 0
+    #: Minimum sharded-engine ghost-zone width in metres (None = the
+    #: sweep radius; the knob can only widen).  Ignored unless
+    #: ``medium_shards >= 1``.
+    medium_halo_m: Optional[float] = None
     campus_radius_m: float = 500.0
     num_social_venues: int = 6
 
@@ -55,6 +65,14 @@ class ScenarioConfig:
     #: per-user degree independent of N, opening large-N sweeps that the
     #: O(N²)-dense hub_and_cluster generator cannot reach.
     social_graph: str = "auto"
+    #: Compute the post-run social-graph summary metrics (density,
+    #: average shortest path, diameter, radius, transitivity).  These run
+    #: an all-pairs BFS over the follow graph — O(N·E) at study *end*,
+    #: which dominates wall-clock at large N while touching nothing the
+    #: simulation emits.  ``False`` skips them (``StudyResult.social_stats``
+    #: comes back empty); traces are identical either way.  The large-N
+    #: medium benchmarks turn this off.
+    social_graph_stats: bool = True
     #: Day-0 follow wiring: ``True`` batches each user's initial follow
     #: list through ``AlleyOopApp.follow_many`` — interest set updated
     #: once, one compact FOLLOW_MANY log record, one aggregated trace
@@ -189,6 +207,10 @@ class ScenarioConfig:
             )
         if self.provisioning_workers < 1:
             raise ValueError("provisioning_workers must be at least 1")
+        if self.medium_shards < 0:
+            raise ValueError("medium_shards must be non-negative")
+        if self.medium_halo_m is not None and self.medium_halo_m <= 0:
+            raise ValueError("medium_halo_m must be positive when set")
         # Unknown kinds and the figure4a/num_users constraint are
         # rejected by the knob's single validation point.
         resolve_social_graph_kind(self.social_graph, self.num_users)

@@ -41,23 +41,32 @@ thousands of devices:
   out of range) and short-range radios inside a long-range sweep;
   fast-moving homogeneous-radio pairs rarely qualify.
 
-The per-device reference path is kept (``batched=False``): it is the
-oracle the scale benchmark diffs against.  Both paths emit link events in
-sorted pair order within a tick, which makes contact traces byte-identical
-across the two engines *and* across processes (cell sets iterate in
-hash order, so unsorted emission would depend on ``PYTHONHASHSEED``).
-See ``benchmarks/test_bench_medium_scale.py`` for throughput numbers and
-the equivalence check, and EXPERIMENTS.md for how to run them.
+How the candidate set is produced each tick is delegated to a strategy
+object from :mod:`repro.net.medium_engines`: the per-device reference
+oracle (``batched=False``), the batched single-process engine (the
+default), or the sharded cross-process engine (``shards >= 1``), which
+partitions the batched sweep over a persistent pool of worker processes
+with ghost-zone (halo) position exchange at shard boundaries.  All
+engines feed the same incremental link diff (:meth:`Medium._apply_candidates`)
+and emit link events in sorted pair order within a tick, which makes
+contact traces byte-identical across engines, shard counts *and*
+processes (cell sets iterate in hash order, so unsorted emission would
+depend on ``PYTHONHASHSEED``).  See
+``benchmarks/test_bench_medium_scale.py`` and
+``benchmarks/test_bench_shard_scale.py`` for throughput numbers and the
+equivalence checks, and EXPERIMENTS.md for how to run them.
 """
 
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.geo.spatial_index import SpatialHashIndex
 from repro.net.contact import ContactTracker, pair_key
 from repro.net.device import Device
+from repro.net.medium_engines import resolve_engine
 from repro.net.radio import RadioProfile, best_common_radio
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicTimer
@@ -94,6 +103,17 @@ class Medium:
         Use the batched contact-detection engine (default).  ``False``
         selects the per-device reference path — same contacts, per-device
         spatial queries; kept as the benchmark/equivalence oracle.
+    shards:
+        ``>= 1`` selects the sharded cross-process engine with that many
+        worker processes (``batched`` is then ignored — sharding
+        generalises the batched algorithm).  ``0`` (default) keeps the
+        single-process engines.  ``shards=1`` is the full sharded
+        machinery with one worker: useful for isolating the partition
+        overhead and for equivalence tests.
+    halo_m:
+        Minimum ghost-zone width in metres for the sharded engine.  The
+        engine always uses at least the sweep radius; this knob can only
+        widen the halo.  Ignored unless ``shards >= 1``.
     """
 
     def __init__(
@@ -102,15 +122,21 @@ class Medium:
         tick_interval: float = 30.0,
         hysteresis: float = 1.1,
         batched: bool = True,
+        shards: int = 0,
+        halo_m: Optional[float] = None,
     ) -> None:
         if tick_interval <= 0:
             raise ValueError(f"tick_interval must be positive, got {tick_interval}")
         if hysteresis < 1.0:
             raise ValueError(f"hysteresis must be >= 1.0, got {hysteresis}")
+        if shards < 0:
+            raise ValueError(f"shards must be >= 0, got {shards}")
         self.sim = sim
         self.tick_interval = float(tick_interval)
         self.hysteresis = float(hysteresis)
         self.batched = bool(batched)
+        self.shards = int(shards)
+        self.halo_m = halo_m
         self.devices: Dict[str, Device] = {}
         self.contacts = ContactTracker()
         self._index = SpatialHashIndex(cell_size=120.0)
@@ -131,12 +157,14 @@ class Medium:
         self._class_radio: Dict[int, Optional[Tuple[RadioProfile, float]]] = {}
         #: pair -> earliest time the pair could possibly come into range.
         self._next_check: Dict[Tuple[str, str], float] = {}
-        #: mobility-class groups, rebuilt after add/remove.
-        self._groups: Optional[List[Tuple[type, List[Device], list]]] = None
         # Tick instrumentation (read by the scale bench and sweep reports).
         self.tick_count = 0
         self.pairs_examined = 0
         self.pair_checks_skipped = 0
+        #: cumulative parent-process CPU seconds spent inside tick() —
+        #: the serialised section that governs multi-core scaling.
+        self.tick_cpu_s = 0.0
+        self.engine = resolve_engine(self, self.batched, self.shards, halo_m)
         self._timer = PeriodicTimer(sim, self.tick_interval, self.tick, name="medium-tick")
 
     # -- population ---------------------------------------------------------------
@@ -160,8 +188,8 @@ class Medium:
             set_id = len(self._radio_set_ids)
             self._radio_set_ids[device.radios] = set_id
         self._radio_class[device.device_id] = set_id
-        self._groups = None
         self._index.update(device.device_id, device.position_at(self.sim.now))
+        self.engine.device_added(device)
 
     def remove_device(self, device_id: str) -> None:
         device = self.devices.get(device_id)
@@ -177,9 +205,9 @@ class Medium:
         self._speed_bound.pop(device_id, None)
         self._reach.pop(device_id, None)
         self._radio_class.pop(device_id, None)
-        self._groups = None
         for key in [k for k in self._next_check if device_id in k]:
             del self._next_check[key]
+        self.engine.device_removed(device_id)
 
     # -- callbacks -----------------------------------------------------------------
     def on_link_up(self, callback: LinkCallback) -> None:
@@ -200,43 +228,30 @@ class Medium:
         for key in sorted(self._linked):
             self._drop_link(key)
         self.contacts.close_all(self.sim.now)
+        self.engine.stop()
 
     # -- the tick ---------------------------------------------------------------------
     def tick(self) -> None:
         """Advance positions and rediff the in-range pair set."""
         self.tick_count += 1
-        if self.batched:
-            self._tick_batched(self.sim.now)
-        else:
-            self._tick_per_device(self.sim.now)
+        started = time.process_time()  # repro: ignore[nondet-wallclock] -- bench instrumentation only: the reading accumulates into tick_cpu_s, which is reported by benchmarks and never reaches simulation state, scheduling or the trace.
+        self.engine.tick(self.sim.now)
+        self.tick_cpu_s += time.process_time() - started  # repro: ignore[nondet-wallclock] -- bench instrumentation only: see above.
 
-    def _mobility_groups(self) -> List[Tuple[type, List[Device], list]]:
-        """Devices bucketed by mobility class (cached between ticks)."""
-        if self._groups is None:
-            buckets: Dict[type, Tuple[type, List[Device], list]] = {}
-            # repro: ignore[nondet-iter] -- order cannot reach the trace: grouping only decides the order of batched positions_at/update_many calls; every device's position lands in the same final index state, and link events are diffed from that state and emitted in sorted pair order (_tick_batched).
-            for device in self.devices.values():
-                cls = type(device.mobility)
-                entry = buckets.get(cls)
-                if entry is None:
-                    entry = buckets[cls] = (cls, [], [])
-                entry[1].append(device)
-                entry[2].append(device.mobility)
-            self._groups = list(buckets.values())
-        return self._groups
+    def _apply_candidates(
+        self, now: float, candidates: List[Tuple[str, str, float]]
+    ) -> None:
+        """The shared incremental link diff.
 
-    def _tick_batched(self, now: float) -> None:
-        """Batched engine: one mobility pass, one pair sweep, incremental
-        link diff (see "Scaling the medium" above)."""
+        ``candidates`` is the tick's geometric candidate set —
+        ``(a, b, d²)`` for every pair within ``min(reach_a, reach_b)``,
+        each pair exactly once, in any order (the diff is per-pair
+        independent and emission below is sorted, so candidate order
+        cannot reach the trace).  Engines must compute ``d²`` with the
+        ``pairs_within`` float64 arithmetic so range thresholds resolve
+        identically everywhere.
+        """
         devices = self.devices
-        # Advance the population, one batch call per mobility class.
-        index = self._index
-        for mobility_cls, group_devices, models in self._mobility_groups():
-            points = mobility_cls.positions_at(models, now)
-            for device, position in zip(group_devices, points):
-                device._last_position = position
-            index.update_many(zip((d.device_id for d in group_devices), points))
-
         linked = self._linked
         radio_class = self._radio_class
         class_radio = self._class_radio
@@ -246,10 +261,6 @@ class Medium:
         tick_interval = self.tick_interval
         survivors: Set[Tuple[str, str]] = set()
         to_raise: List[Tuple[Tuple[str, str], RadioProfile]] = []
-        candidates = self._index.pairs_within(
-            self._max_range * hysteresis, reach_of=self._reach
-        )
-        self.pairs_examined += len(candidates)
         skipped = 0
         for a, b, d2 in candidates:
             key = (a, b) if a <= b else (b, a)
@@ -304,62 +315,6 @@ class Medium:
         to_raise.sort(key=lambda item: item[0])
         for key, radio in to_raise:
             self._raise_link(key, radio)
-
-    def _tick_per_device(self, now: float) -> None:
-        """Reference engine: per-device spatial queries, pair-set rediff.
-
-        Kept deliberately naive — this is the oracle the batched engine is
-        verified against (identical contact traces) and benchmarked over.
-        """
-        index = self._index
-        devices = self.devices
-        # repro: ignore[nondet-iter] -- order cannot reach the trace: each iteration updates an independent per-device index entry; the pair sweep below reads the completed index and both engines emit link events in sorted pair order.
-        for device in devices.values():
-            index.update(device.device_id, device.position_at(now))
-
-        desired: Dict[Tuple[str, str], RadioProfile] = {}
-        seen: Set[Tuple[str, str]] = set()
-        sweep = self._max_range * self.hysteresis
-        for device_id, device in devices.items():
-            if not device.powered_on:
-                continue
-            position = index.position_of(device_id)
-            for other_id in index.within(position, sweep, exclude=device_id):
-                key = pair_key(device_id, other_id)
-                if key in seen:
-                    continue
-                seen.add(key)
-                self.pairs_examined += 1
-                other = devices[other_id]
-                if not other.powered_on:
-                    continue
-                radio = best_common_radio(devices[key[0]].radios, devices[key[1]].radios)
-                if radio is None:
-                    continue
-                # Squared-distance compares with the exact arithmetic of
-                # pairs_within, so the two engines agree even when a pair
-                # lands within a rounding error of a range threshold.
-                other_position = index.position_of(other_id)
-                dx = position.x - other_position.x
-                dy = position.y - other_position.y
-                d2 = dx * dx + dy * dy
-                active = self._linked.get(key)
-                if active is not None:
-                    # Existing link survives out to the hysteresis margin
-                    # of the radio it was *raised* on — not whatever the
-                    # best common technology happens to resolve to now.
-                    limit = active.range_m * self.hysteresis
-                    if d2 <= limit * limit:
-                        desired[key] = active
-                else:
-                    reach = radio.range_m
-                    if d2 <= reach * reach:
-                        desired[key] = radio
-
-        for key in sorted(k for k in self._linked if k not in desired):
-            self._drop_link(key)
-        for key in sorted(k for k in desired if k not in self._linked):
-            self._raise_link(key, desired[key])
 
     def _raise_link(self, key: Tuple[str, str], radio: RadioProfile) -> None:
         self._linked[key] = radio
@@ -429,7 +384,8 @@ class Medium:
 
     @property
     def distance_checks(self) -> int:
-        """Cumulative candidate distance computations in the spatial
-        index — the geometric work the batched sweep compresses (the
-        per-device path visits every pair from both ends)."""
-        return self._index.distance_checks
+        """Cumulative candidate distance computations — the geometric
+        work the batched sweep compresses (the per-device path visits
+        every pair from both ends; the sharded engine re-checks halo
+        pairs in whichever band sees them without owning them)."""
+        return self._index.distance_checks + self.engine.extra_distance_checks

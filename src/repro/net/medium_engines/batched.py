@@ -1,0 +1,70 @@
+"""The batched single-process engine (PR 1; the default).
+
+One mobility pass per tick (devices grouped by mobility class, one
+:meth:`~repro.mobility.base.MobilityModel.positions_at` call per class),
+one bulk spatial update, one population-wide pair sweep via
+:meth:`~repro.geo.spatial_index.SpatialHashIndex.pairs_within`, then the
+shared incremental link diff on the medium.  See "Scaling the medium"
+in :mod:`repro.net.medium` for the full design notes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.device import Device
+    from repro.net.medium import Medium
+
+from repro.net.medium_engines.base import ContactEngine
+
+
+class BatchedEngine(ContactEngine):
+    """One mobility pass, one pair sweep, incremental link diff."""
+
+    name = "batched"
+
+    def __init__(self, medium: "Medium") -> None:
+        super().__init__(medium)
+        #: mobility-class groups, rebuilt after add/remove.
+        self._groups: Optional[List[Tuple[type, List["Device"], list]]] = None
+
+    def device_added(self, device: "Device") -> None:
+        self._groups = None
+
+    def device_removed(self, device_id: str) -> None:
+        self._groups = None
+
+    def mobility_groups(self) -> List[Tuple[type, List["Device"], list]]:
+        """Devices bucketed by mobility class (cached between ticks)."""
+        if self._groups is None:
+            buckets: Dict[type, Tuple[type, List["Device"], list]] = {}
+            # Registry order only decides the order of batched
+            # positions_at/update_many calls; every device's position
+            # lands in the same final index state, and link events are
+            # diffed from that state and emitted in sorted pair order
+            # (Medium._apply_candidates).
+            for device in self.medium.devices.values():
+                cls = type(device.mobility)
+                entry = buckets.get(cls)
+                if entry is None:
+                    entry = buckets[cls] = (cls, [], [])
+                entry[1].append(device)
+                entry[2].append(device.mobility)
+            self._groups = list(buckets.values())
+        return self._groups
+
+    def tick(self, now: float) -> None:
+        medium = self.medium
+        # Advance the population, one batch call per mobility class.
+        index = medium._index
+        for mobility_cls, group_devices, models in self.mobility_groups():
+            points = mobility_cls.positions_at(models, now)
+            for device, position in zip(group_devices, points):
+                device._last_position = position
+            index.update_many(zip((d.device_id for d in group_devices), points))
+        candidates = index.pairs_within(
+            medium._max_range * medium.hysteresis, reach_of=medium._reach
+        )
+        medium.pairs_examined += len(candidates)
+        medium._apply_candidates(now, candidates)

@@ -1,0 +1,146 @@
+"""Worker-side half of the sharded contact engine.
+
+Everything in this module runs inside shard worker processes (or inline,
+when :class:`~repro.sim.parallel.WorkerPool` falls back to serial mode).
+The functions are module-level and pure over ``(state, task)`` — no
+closures, no bound methods, no simulator handles — so they satisfy the
+``fork-unsafe`` lint contract and pickle cleanly by qualified name.
+
+Each worker owns two independent responsibilities per tick:
+
+* **advance** — step the mobility models of its *owned* device chunk to
+  the tick time and return the new positions.  Ownership is static
+  (assigned at pool construction, extended by pending-add tasks), so a
+  model's query sequence is exactly what it would have been in a
+  single-process run: mobility models are pull-driven and per-model
+  independent (``positions_at`` is a per-model loop), which is what
+  makes the partitioning bit-identical.
+* **sweep** — given a grid-column band ``[lo, hi)`` plus its right-halo
+  ghost snapshots, build a throwaway local spatial index and enumerate
+  candidate pairs, keeping only pairs this band *owns* under the
+  min-column rule ``lo <= min(cx_a, cx_b) < hi``.  Every pair has
+  exactly one owner band, so concatenating the per-band results
+  reproduces the global ``pairs_within`` set — with the same float64
+  ``d²`` arithmetic, because it *is* the same sweep code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.geo.point import Point
+from repro.geo.spatial_index import SpatialHashIndex, cell_x_of
+from repro.mobility.base import MobilityModel
+
+#: advance task: (now, adds, removes, reach_updates)
+AdvanceTask = Tuple[
+    float,
+    List[Tuple[str, MobilityModel]],
+    List[str],
+    Dict[str, float],
+]
+#: sweep task: (sweep_radius, band_lo, band_hi, members=[(id, x, y)])
+SweepTask = Tuple[float, int, int, List[Tuple[str, float, float]]]
+
+
+class ShardWorkerState:
+    """One worker's private world: its mobility chunk and the
+    population-wide reach table (any device may drift into this
+    worker's band, so reaches are replicated everywhere)."""
+
+    __slots__ = ("cell_size", "owned", "reach", "_groups")
+
+    def __init__(
+        self,
+        cell_size: float,
+        owned: Dict[str, MobilityModel],
+        reach: Dict[str, float],
+    ) -> None:
+        self.cell_size = cell_size
+        self.owned = owned
+        self.reach = reach
+        #: mobility-class groups over ``owned``, rebuilt after add/remove.
+        self._groups: Optional[List[Tuple[type, List[str], list]]] = None
+
+    def mobility_groups(self) -> List[Tuple[type, List[str], list]]:
+        if self._groups is None:
+            buckets: Dict[type, Tuple[type, List[str], list]] = {}
+            # Sorted ids: the grouping (and hence the batched call order)
+            # is a pure function of the owned set, not insertion history.
+            for device_id in sorted(self.owned):
+                model = self.owned[device_id]
+                cls = type(model)
+                entry = buckets.get(cls)
+                if entry is None:
+                    entry = buckets[cls] = (cls, [], [])
+                entry[1].append(device_id)
+                entry[2].append(model)
+            self._groups = list(buckets.values())
+        return self._groups
+
+
+def build_state(
+    payload: Tuple[float, List[Tuple[str, MobilityModel]], Dict[str, float]]
+) -> ShardWorkerState:
+    """WorkerPool init function: unpack the per-worker payload."""
+    cell_size, owned_items, reach = payload
+    return ShardWorkerState(cell_size, dict(owned_items), dict(reach))
+
+
+def advance_shard(
+    state: ShardWorkerState, task: AdvanceTask
+) -> List[Tuple[str, float, float]]:
+    """Apply pending population changes, then advance this worker's
+    mobility chunk to ``now``.  Returns ``[(device_id, x, y)]``."""
+    now, adds, removes, reach_updates = task
+    for device_id in removes:
+        if state.owned.pop(device_id, None) is not None:
+            state._groups = None
+        state.reach.pop(device_id, None)
+    if reach_updates:
+        state.reach.update(reach_updates)
+    if adds:
+        for device_id, model in adds:
+            state.owned[device_id] = model
+        state._groups = None
+    out: List[Tuple[str, float, float]] = []
+    for mobility_cls, ids, models in state.mobility_groups():
+        points = mobility_cls.positions_at(models, now)
+        for device_id, point in zip(ids, points):
+            out.append((device_id, point.x, point.y))
+    return out
+
+
+def sweep_shard(
+    state: ShardWorkerState, task: SweepTask
+) -> Tuple[List[Tuple[Hashable, Hashable, float]], int]:
+    """Pair-sweep one band (own columns plus right halo), keeping only
+    the pairs the band owns.  Returns ``(candidates, distance_checks)``.
+
+    A fresh index per call: members change completely every tick and the
+    build cost is the same ``update_many`` bulk path the batched engine
+    pays, without any cross-tick eviction bookkeeping.
+    """
+    sweep_radius, lo, hi, members = task
+    if not members:
+        return [], 0
+    size = state.cell_size
+    index = SpatialHashIndex(cell_size=size)
+    reach = state.reach
+    reach_of: Dict[str, float] = {}
+    column: Dict[str, int] = {}
+    entries: List[Tuple[str, Point]] = []
+    for device_id, x, y in members:
+        entries.append((device_id, Point(x, y)))
+        reach_of[device_id] = reach[device_id]
+        column[device_id] = cell_x_of(x, size)
+    index.update_many(entries)
+    kept: List[Tuple[Hashable, Hashable, float]] = []
+    for a, b, d2 in index.pairs_within(sweep_radius, reach_of=reach_of):
+        home = column[a]
+        cx_b = column[b]
+        if cx_b < home:
+            home = cx_b
+        if lo <= home < hi:
+            kept.append((a, b, d2))
+    return kept, index.distance_checks

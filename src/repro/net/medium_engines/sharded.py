@@ -1,0 +1,246 @@
+"""The sharded cross-process engine (parent side).
+
+Partitions the batched tick across a persistent pool of worker
+processes in two rounds:
+
+1. **advance** — each worker steps the mobility models of its static
+   device chunk (assigned round-robin at pool construction so every
+   worker sees a similar mobility-class mix) and returns positions.
+   Mobility ownership is *not* spatial: models are stateful and their
+   query sequence must match a single-process run exactly, so a model
+   never migrates between workers.
+2. **sweep** — the parent buckets the returned positions by grid
+   column, cuts the occupied columns into contiguous bands balanced by
+   occupancy (:func:`~repro.geo.spatial_index.partition_cell_bands`),
+   and sends each worker its band *plus a right-halo ghost zone* wide
+   enough (``ceil(sweep_radius / cell_size)`` columns, widenable via
+   ``halo_m``) that every pair straddling a band boundary is seen by
+   the band owning its leftmost member.  Workers sweep locally and keep
+   only owned pairs (``lo <= min(cx_a, cx_b) < hi``), so the
+   concatenated result is the global candidate set with each pair
+   exactly once.
+
+The merged candidates then flow through ``Medium._apply_candidates``
+like any other engine's — the link diff, hysteresis and sorted trace
+emission are shared, which is why traces are byte-identical to the
+batched engine for any shard count.
+
+The pool forks lazily at the first tick, after the whole initial
+population is registered, so worker mobility state arrives by
+copy-on-write inheritance rather than pickling.  After the fork the
+parent must not advance the models itself — workers are authoritative —
+so a stopped sharded medium cannot be restarted.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Dict, Hashable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mobility.base import MobilityModel
+    from repro.net.device import Device
+    from repro.net.medium import Medium
+
+from repro.geo.spatial_index import partition_cell_bands, span_cells
+from repro.net.medium_engines.base import ContactEngine
+from repro.net.medium_engines.shard_worker import (
+    advance_shard,
+    build_state,
+    sweep_shard,
+)
+from repro.sim.parallel import WorkerPool
+
+
+class ShardedEngine(ContactEngine):
+    """Spatially partitioned batched tick over a persistent worker pool."""
+
+    name = "sharded"
+
+    def __init__(
+        self, medium: "Medium", shards: int, halo_m: Optional[float] = None
+    ) -> None:
+        super().__init__(medium)
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if halo_m is not None and halo_m <= 0:
+            raise ValueError(f"halo_m must be positive, got {halo_m}")
+        self.shards = shards
+        #: Minimum ghost-zone width in metres.  The engine always uses at
+        #: least the sweep radius (anything narrower would miss boundary
+        #: pairs); this knob can only widen the halo, for experiments on
+        #: snapshot-exchange volume.
+        self.halo_m = halo_m
+        self._pool: Optional[WorkerPool] = None
+        self._stopped = False
+        #: device id -> worker index (mobility ownership).
+        self._owner: Dict[str, int] = {}
+        self._owned_counts: List[int] = [0] * shards
+        #: population changes since the last tick, shipped with the next
+        #: advance dispatch.  Adds keyed by id so add-then-remove between
+        #: ticks cancels cleanly.
+        self._pending_adds: Dict[str, Tuple[int, "MobilityModel", float]] = {}
+        self._pending_removes: List[str] = []
+        self._extra_checks = 0
+        #: cumulative halo duplicates: ghost position snapshots sent to a
+        #: band beyond its own columns.
+        self.ghost_snapshots = 0
+
+    # -- population change notifications ----------------------------------------
+    def device_added(self, device: "Device") -> None:
+        if self._pool is None:
+            return  # pool not forked yet: _build_pool reads the registry
+        worker = min(range(self.shards), key=lambda k: self._owned_counts[k])
+        self._owned_counts[worker] += 1
+        self._owner[device.device_id] = worker
+        self._pending_adds[device.device_id] = (
+            worker,
+            device.mobility,
+            self.medium._reach[device.device_id],
+        )
+
+    def device_removed(self, device_id: str) -> None:
+        if self._pool is None:
+            return
+        pending = self._pending_adds.pop(device_id, None)
+        if pending is not None:
+            self._owned_counts[pending[0]] -= 1
+            self._owner.pop(device_id, None)
+            return
+        worker = self._owner.pop(device_id, None)
+        if worker is not None:
+            self._owned_counts[worker] -= 1
+            self._pending_removes.append(device_id)
+
+    # -- pool lifecycle ----------------------------------------------------------
+    def _build_pool(self) -> None:
+        medium = self.medium
+        cell_size = medium._index.cell_size
+        ids = sorted(medium.devices)
+        owned_items: List[List[Tuple[str, "MobilityModel"]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for i, device_id in enumerate(ids):
+            worker = i % self.shards
+            self._owner[device_id] = worker
+            self._owned_counts[worker] += 1
+            owned_items[worker].append(
+                (device_id, medium.devices[device_id].mobility)
+            )
+        payloads = [
+            (cell_size, owned_items[k], dict(medium._reach))
+            for k in range(self.shards)
+        ]
+        self._pool = WorkerPool(build_state, payloads)
+
+    def stop(self) -> None:
+        if self._pool is not None:
+            self._pool.close()
+        self._stopped = True
+
+    # -- the tick ----------------------------------------------------------------
+    def tick(self, now: float) -> None:
+        if self._stopped:
+            raise RuntimeError(
+                "sharded medium cannot tick after stop(): worker mobility "
+                "state died with the pool"
+            )
+        if self._pool is None:
+            self._build_pool()
+        pool = self._pool
+        medium = self.medium
+        assert pool is not None
+
+        # Round 1: advance mobility on every worker's owned chunk.
+        removes = self._pending_removes
+        reach_updates = {
+            device_id: reach
+            for device_id, (_, _, reach) in self._pending_adds.items()
+        }
+        adds_by_worker: List[List[Tuple[str, "MobilityModel"]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for device_id, (worker, model, _) in self._pending_adds.items():
+            adds_by_worker[worker].append((device_id, model))
+        advance_tasks = [
+            (now, adds_by_worker[k], removes, reach_updates)
+            for k in range(self.shards)
+        ]
+        chunks = pool.dispatch(advance_shard, advance_tasks)
+        self._pending_adds = {}
+        self._pending_removes = []
+
+        # Bucket positions by grid column; record them on the devices so
+        # overlay consumers (which read ``last_position``) keep working
+        # without querying the parent's now-passive mobility models.
+        # This loop runs len(devices) times per tick in the parent's
+        # serialised section, so it is written for constant-factor
+        # economy: worker tuples are kept as-is, positions land as raw
+        # (x, y) pairs (Device.last_position promotes them to Points on
+        # first read), and the column arithmetic is inlined (it must
+        # stay identical to cell_x_of / SpatialHashIndex._cell_of).
+        devices = medium.devices
+        cell_size = medium._index.cell_size
+        floor = math.floor
+        buckets: Dict[int, List[Tuple[str, float, float]]] = {}
+        total = 0
+        for chunk in chunks:
+            total += len(chunk)
+            for item in chunk:
+                device_id, x, y = item
+                devices[device_id]._last_position = (x, y)
+                cx = int(floor(x / cell_size))
+                bucket = buckets.get(cx)
+                if bucket is None:
+                    bucket = buckets[cx] = []
+                bucket.append(item)
+        counts = {cx: len(bucket) for cx, bucket in buckets.items()}
+        if total != len(devices):
+            raise RuntimeError(
+                f"shard advance returned {total} positions for "
+                f"{len(devices)} devices: ownership map out of sync"
+            )
+
+        # Round 2: sweep each band with its right-halo ghost zone.
+        sweep_radius = medium._max_range * medium.hysteresis
+        span = span_cells(sweep_radius, cell_size)
+        if self.halo_m is not None:
+            span = max(span, span_cells(self.halo_m, cell_size))
+        bands = partition_cell_bands(counts, self.shards)
+        columns = sorted(buckets)
+        sweep_tasks = []
+        for lo, hi in bands:
+            members: List[Tuple[str, float, float]] = []
+            own = 0
+            start = bisect_left(columns, lo)
+            end = bisect_left(columns, hi + span)
+            for cx in columns[start:end]:
+                members.extend(buckets[cx])
+                if cx < hi:
+                    own += len(buckets[cx])
+            self.ghost_snapshots += len(members) - own
+            sweep_tasks.append((sweep_radius, lo, hi, members))
+        results = pool.dispatch(sweep_shard, sweep_tasks)
+
+        # Deterministic merge: each pair was kept by exactly one band
+        # (the one owning its leftmost column), so concatenation is the
+        # global candidate set.  Order is irrelevant downstream —
+        # _apply_candidates diffs per pair and emits in sorted order.
+        candidates: List[Tuple[Hashable, Hashable, float]] = []
+        for kept, checks in results:
+            candidates.extend(kept)
+            self._extra_checks += checks
+        medium.pairs_examined += len(candidates)
+        medium._apply_candidates(now, candidates)
+
+    # -- instrumentation ----------------------------------------------------------
+    @property
+    def extra_distance_checks(self) -> int:
+        return self._extra_checks
+
+    @property
+    def forked(self) -> bool:
+        """Whether the pool actually forked (False before the first tick
+        and under the serial in-process fallback)."""
+        return self._pool is not None and self._pool.forked

@@ -8,6 +8,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.geo import Place, PlaceKind, Point, Region, SpatialHashIndex, distance, midpoint
 from repro.geo.region import GAINESVILLE_AREA
+from repro.geo.spatial_index import (
+    BAND_SENTINEL,
+    cell_x_of,
+    partition_cell_bands,
+    span_cells,
+)
 
 coords = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
 
@@ -125,6 +131,186 @@ class TestSpatialHashIndex:
     def test_invalid_cell_size(self):
         with pytest.raises(ValueError):
             SpatialHashIndex(cell_size=0)
+
+
+def _brute_force_pairs(points, radius, reach_of=None):
+    """All unordered pairs within radius (and within min mutual reach)."""
+    expected = set()
+    ids = sorted(points)
+    for i, a in enumerate(ids):
+        for b in ids[i + 1 :]:
+            limit = radius if reach_of is None else min(reach_of[a], reach_of[b])
+            if points[a].distance_to(points[b]) <= limit:
+                expected.add((a, b) if a <= b else (b, a))
+    return expected
+
+
+class TestSpatialIndexBoundaries:
+    """Edge geometry the sharded engine leans on: items exactly on cell
+    boundaries, sweep radius equal to the cell size, cell churn."""
+
+    def test_pairs_on_exact_cell_edges(self):
+        # Items sitting exactly on cell corners land in the cell whose
+        # index is floor(x / size); the sweep must still see every pair
+        # exactly once, wherever the pair straddles a boundary.
+        size = 10.0
+        index = SpatialHashIndex(cell_size=size)
+        points = {
+            "corner00": Point(0.0, 0.0),
+            "corner10": Point(10.0, 0.0),
+            "corner01": Point(0.0, 10.0),
+            "corner11": Point(10.0, 10.0),
+            "negedge": Point(-10.0, 0.0),
+            "inside": Point(5.0, 5.0),
+        }
+        for item, p in points.items():
+            index.update(item, p)
+        radius = 10.0
+        got = [(a, b) if a <= b else (b, a) for a, b, _ in index.pairs_within(radius)]
+        assert len(got) == len(set(got)), "pair emitted twice"
+        assert set(got) == _brute_force_pairs(points, radius)
+
+    def test_radius_equal_to_cell_size_lattice(self):
+        # radius == cell_size is the tightest legal half-neighbourhood
+        # sweep; a full lattice of exact corner points exercises every
+        # (dx, dy) offset including the boundary-inclusive distance.
+        size = 7.0
+        index = SpatialHashIndex(cell_size=size)
+        points = {}
+        for gx in range(-3, 4):
+            for gy in range(-3, 4):
+                item = f"n{gx}_{gy}"
+                points[item] = Point(gx * size, gy * size)
+        index.update_many(points.items())
+        got = [(a, b) if a <= b else (b, a) for a, b, _ in index.pairs_within(size)]
+        assert len(got) == len(set(got))
+        assert set(got) == _brute_force_pairs(points, size)
+
+    def test_numpy_sweep_agrees_on_exact_edges(self):
+        # Population over the vectorised-path threshold, all on exact
+        # cell corners: the numpy sweep must produce the identical pair
+        # set and identical float64 d2 values as the Python path.
+        numpy = pytest.importorskip("numpy")
+        size = 10.0
+        big = SpatialHashIndex(cell_size=size)
+        points = {}
+        for gx in range(14):
+            for gy in range(14):  # 196 items >= _NUMPY_SWEEP_MIN
+                item = f"n{gx:02d}_{gy:02d}"
+                points[item] = Point(gx * size, gy * size)
+        big.update_many(points.items())
+        got = sorted(
+            ((a, b) if a <= b else (b, a), d2)
+            for a, b, d2 in big.pairs_within(size)
+        )
+        expected_pairs = _brute_force_pairs(points, size)
+        assert {pair for pair, _ in got} == expected_pairs
+        for (a, b), d2 in got:
+            dx = points[a].x - points[b].x
+            dy = points[a].y - points[b].y
+            assert d2 == dx * dx + dy * dy  # bit-identical, not approx
+
+    def test_reach_of_on_threshold_boundary(self):
+        # A pair exactly at min(reach_a, reach_b) is in; epsilon beyond
+        # is out.  This is the arithmetic every engine must share.
+        index = SpatialHashIndex(cell_size=50)
+        index.update("a", Point(0, 0))
+        index.update("b", Point(30.0, 0))
+        reach = {"a": 30.0, "b": 100.0}
+        # Within-pair order follows set iteration (hash-seed dependent
+        # and documented as "no particular order"): normalise it.
+        assert [
+            (a, b) if a <= b else (b, a)
+            for a, b, _ in index.pairs_within(100.0, reach_of=reach)
+        ] == [("a", "b")]
+        reach["a"] = math.nextafter(30.0, 0.0)
+        assert index.pairs_within(100.0, reach_of=reach) == []
+
+    def test_update_many_cell_churn_reclaims_cells(self):
+        # Emptied cells are deleted (no unbounded set() accumulation)
+        # and re-entering a reclaimed cell works.
+        size = 10.0
+        index = SpatialHashIndex(cell_size=size)
+        items = [f"walker{i}" for i in range(8)]
+        index.update_many((item, Point(5.0, 5.0)) for item in items)
+        assert index.occupied_cells == 1
+        for step in range(1, 30):
+            index.update_many((item, Point(5.0 + step * size, 5.0)) for item in items)
+            assert index.occupied_cells == 1
+        index.update_many((item, Point(5.0, 5.0)) for item in items)
+        assert index.occupied_cells == 1
+        assert sorted(index.within(Point(5.0, 5.0), 1.0)) == sorted(items)
+
+    def test_update_many_same_object_short_circuit(self):
+        # update_many skips items whose Point object is unchanged (the
+        # stationary-device fast path); the entry must stay queryable.
+        index = SpatialHashIndex(cell_size=10)
+        home = Point(3.0, 4.0)
+        index.update("parked", home)
+        index.update_many([("parked", home)])
+        assert index.within(Point(3.0, 4.0), 1.0) == ["parked"]
+        assert index.occupied_cells == 1
+
+
+class TestShardPartition:
+    """The band-partition API the sharded medium shards the grid with."""
+
+    def test_cell_x_matches_index_cells(self):
+        size = 120.0
+        index = SpatialHashIndex(cell_size=size)
+        for x in (-360.0, -120.0, -0.1, 0.0, 0.1, 119.999, 120.0, 360.5):
+            index.update("probe", Point(x, 55.0))
+            (cell,) = index._cells  # noqa: SLF001 - asserting the contract
+            assert cell[0] == cell_x_of(x, size)
+
+    def test_span_cells(self):
+        assert span_cells(120.0, 120.0) == 1
+        assert span_cells(120.1, 120.0) == 2
+        assert span_cells(1.0, 120.0) == 1
+        assert span_cells(600.0, 120.0) == 5
+
+    def test_bands_tile_the_axis(self):
+        counts = {0: 5, 1: 1, 2: 9, 7: 3, -4: 2}
+        for shards in (1, 2, 3, 4, 8):
+            bands = partition_cell_bands(counts, shards)
+            assert len(bands) == shards
+            assert bands[0][0] == -BAND_SENTINEL
+            assert bands[-1][1] == BAND_SENTINEL
+            for (_, hi), (lo, _) in zip(bands, bands[1:]):
+                assert hi == lo  # contiguous, no gaps or overlaps
+            for cx in counts:
+                owners = [1 for lo, hi in bands if lo <= cx < hi]
+                assert sum(owners) == 1
+
+    def test_bands_balance_occupancy(self):
+        counts = {cx: 10 for cx in range(100)}
+        bands = partition_cell_bands(counts, 4)
+        per_band = [
+            sum(n for cx, n in counts.items() if lo <= cx < hi) for lo, hi in bands
+        ]
+        assert per_band == [250, 250, 250, 250]
+
+    def test_more_shards_than_columns(self):
+        bands = partition_cell_bands({5: 3}, 4)
+        # First band swallows the whole population; the rest are empty
+        # (unoccupied ranges or degenerate) and sweep nothing.
+        assert bands[0] == (-BAND_SENTINEL, 6)
+        assert [1 for lo, hi in bands if lo <= 5 < hi] == [1]
+
+    def test_empty_counts(self):
+        bands = partition_cell_bands({}, 3)
+        assert len(bands) == 3
+        assert [1 for lo, hi in bands if lo <= 0 < hi] == [1]
+
+    def test_deterministic(self):
+        counts = {cx: (cx * 7919) % 23 + 1 for cx in range(-50, 50)}
+        assert partition_cell_bands(dict(reversed(list(counts.items()))), 6) == (
+            partition_cell_bands(counts, 6)
+        )
+
+    def test_invalid_shards(self):
+        with pytest.raises(ValueError):
+            partition_cell_bands({0: 1}, 0)
 
 
 class TestPlace:

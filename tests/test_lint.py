@@ -299,6 +299,70 @@ class TestForkSafety:
         )
         assert lint_source(good) == []
 
+    # -- shard-pool task patterns (WorkerPool / dispatch) ------------------------
+
+    def test_worker_pool_lambda_init_flags(self):
+        bad = (
+            "from repro.sim.parallel import WorkerPool\n"
+            "def build(models):\n"
+            "    return WorkerPool(lambda payload: dict(payload), models)\n"
+        )
+        assert rules_of(lint_source(bad)) == ["fork-unsafe"]
+
+    def test_dispatch_nested_worker_flags(self):
+        bad = (
+            "from repro.sim.parallel import WorkerPool\n"
+            "def tick(pool, sim):\n"
+            "    def advance(state, task):\n"
+            "        return state, sim.now\n"
+            "    return pool.dispatch(advance, [1, 2])\n"
+        )
+        assert rules_of(lint_source(bad)) == ["fork-unsafe"]
+
+    def test_dispatch_bound_method_worker_flags(self):
+        # The canonical shard-task hazard: dispatching a Medium/Simulator
+        # bound method drags the whole live object through the fork.
+        bad = (
+            "from repro.sim.parallel import WorkerPool\n"
+            "class Engine:\n"
+            "    def tick(self, pool, tasks):\n"
+            "        return pool.dispatch(self.medium.sweep, tasks)\n"
+        )
+        assert rules_of(lint_source(bad)) == ["fork-unsafe"]
+
+    def test_dispatch_worker_touching_module_medium_flags(self):
+        bad = (
+            "from repro.net.medium import Medium\n"
+            "from repro.sim.parallel import WorkerPool\n"
+            "MEDIUM = Medium(object())\n"
+            "def sweep(state, task):\n"
+            "    return MEDIUM.active_links\n"
+            "def tick(pool, tasks):\n"
+            "    return pool.dispatch(sweep, tasks)\n"
+        )
+        assert rules_of(lint_source(bad)) == ["fork-unsafe"]
+
+    def test_imported_shard_workers_pass(self):
+        # The sharded engine's own shape: workers imported by name are
+        # vouched for where they are defined.
+        good = (
+            "from repro.net.medium_engines.shard_worker import advance_shard, build_state\n"
+            "from repro.sim.parallel import WorkerPool\n"
+            "def tick(payloads, tasks):\n"
+            "    pool = WorkerPool(build_state, payloads)\n"
+            "    return pool.dispatch(advance_shard, tasks)\n"
+        )
+        assert lint_source(good) == []
+
+    def test_unrelated_dispatch_method_not_policed(self):
+        # dispatch() is a generic name; without the parallel API imported
+        # it belongs to someone else's protocol.
+        good = (
+            "def route(bus, handler, message):\n"
+            "    return bus.dispatch(handler, message)\n"
+        )
+        assert lint_source(good) == []
+
 
 # -- family 4: exception hygiene ------------------------------------------------
 

@@ -1,0 +1,159 @@
+"""Tests for the multi-process fan-out primitives.
+
+Covers the failure-surfacing contract (worker exceptions re-raised in
+the parent with the original worker traceback attached — never silently
+retried in-process) and the persistent :class:`WorkerPool` lifecycle
+the sharded medium is built on.
+"""
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.sim.parallel import WorkerError, WorkerPool, parallel_map
+
+
+# -- module-level worker functions (picklable by qualified name) -----------------
+
+
+def _double(x):
+    return x * 2
+
+
+def _boom(x):
+    raise ValueError(f"bad item {x}")
+
+
+def _os_error(x):
+    # Historically the dangerous case: OSError from a *worker* used to be
+    # indistinguishable from "this platform cannot fork".
+    raise OSError(f"disk on fire for {x}")
+
+
+class _UnpicklableError(Exception):
+    def __init__(self, message):
+        super().__init__(message)
+        self.lock = threading.Lock()  # cannot cross a process boundary
+
+
+def _raise_unpicklable(x):
+    raise _UnpicklableError(f"held a lock for {x}")
+
+
+def _init_counter(start):
+    return {"count": start}
+
+
+def _init_boom(payload):
+    raise RuntimeError(f"init refused payload {payload}")
+
+
+def _bump(state, amount):
+    state["count"] += amount
+    return state["count"]
+
+
+def _task_boom(state, task):
+    raise KeyError(f"no such task {task}")
+
+
+class TestParallelMap:
+    def test_maps_in_order(self):
+        assert parallel_map(_double, [3, 1, 2], workers=2) == [6, 2, 4]
+
+    def test_single_worker_stays_in_process(self):
+        assert parallel_map(_double, [5, 6], workers=1) == [10, 12]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_worker_exception_propagates_with_traceback(self, workers):
+        with pytest.raises(ValueError, match="bad item 5") as excinfo:
+            parallel_map(_boom, [5, 7, 9], workers=workers)
+        notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+        assert "worker traceback" in notes
+        assert "_boom" in notes  # the original frame, not a re-raise site
+
+    def test_worker_oserror_is_not_mistaken_for_fork_failure(self):
+        # Regression: the old implementation caught OSError around the
+        # whole pool block, so a worker raising OSError was silently
+        # re-run in-process.  It must propagate, with worker context.
+        with pytest.raises(OSError, match="disk on fire") as excinfo:
+            parallel_map(_os_error, [1, 2, 3], workers=2)
+        notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+        assert "_os_error" in notes
+
+    def test_unpicklable_exception_becomes_worker_error(self):
+        with pytest.raises(WorkerError, match="held a lock for 1") as excinfo:
+            parallel_map(_raise_unpicklable, [1, 2], workers=2)
+        assert "_raise_unpicklable" in str(excinfo.value)
+
+
+class TestWorkerPool:
+    def test_states_persist_across_dispatches(self):
+        with WorkerPool(_init_counter, [100, 200]) as pool:
+            assert pool.dispatch(_bump, [1, 2]) == [101, 202]
+            assert pool.dispatch(_bump, [10, 20]) == [111, 222]
+            assert pool.workers == 2
+
+    def test_task_count_must_match_workers(self):
+        with WorkerPool(_init_counter, [0, 0]) as pool:
+            with pytest.raises(ValueError, match="exactly 2 tasks"):
+                pool.dispatch(_bump, [1])
+
+    def test_dispatch_error_carries_worker_traceback(self):
+        with WorkerPool(_init_counter, [0, 0]) as pool:
+            with pytest.raises(KeyError, match="no such task") as excinfo:
+                pool.dispatch(_task_boom, ["t0", "t1"])
+            notes = "\n".join(getattr(excinfo.value, "__notes__", []))
+            assert "_task_boom" in notes
+            # The pool survives a failed round: every worker answered
+            # its envelope, so the pipes stay in lockstep.
+            assert pool.dispatch(_bump, [1, 1]) == [1, 1]
+
+    def test_init_failure_surfaces(self):
+        with pytest.raises(RuntimeError, match="init refused payload"):
+            WorkerPool(_init_boom, ["p0", "p1"])
+
+    def test_close_is_idempotent_and_final(self):
+        pool = WorkerPool(_init_counter, [0])
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed WorkerPool"):
+            pool.dispatch(_bump, [1])
+
+    def test_needs_at_least_one_payload(self):
+        with pytest.raises(ValueError):
+            WorkerPool(_init_counter, [])
+
+    def test_serial_fallback_matches_forked(self, monkeypatch):
+        forked = WorkerPool(_init_counter, [10, 20])
+        forked_results = [
+            forked.dispatch(_bump, [1, 2]),
+            forked.dispatch(_bump, [3, 4]),
+        ]
+        forked.close()
+        # Forbid forking: the pool must degrade to serial mode and
+        # produce bit-identical results.
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda method: (_ for _ in ()).throw(ValueError(method)),
+        )
+        serial = WorkerPool(_init_counter, [10, 20])
+        assert not serial.forked
+        assert [
+            serial.dispatch(_bump, [1, 2]),
+            serial.dispatch(_bump, [3, 4]),
+        ] == forked_results
+        serial.close()
+
+    def test_serial_mode_surfaces_errors_identically(self, monkeypatch):
+        monkeypatch.setattr(
+            multiprocessing,
+            "get_context",
+            lambda method: (_ for _ in ()).throw(ValueError(method)),
+        )
+        with WorkerPool(_init_counter, [0]) as pool:
+            assert not pool.forked
+            with pytest.raises(KeyError, match="no such task"):
+                pool.dispatch(_task_boom, ["t"])
